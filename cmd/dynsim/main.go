@@ -1,0 +1,93 @@
+// Command dynsim runs one benchmark of the synthetic SPEC CPU2000 suite
+// under one sampling policy and reports the IPC estimate, sampling
+// statistics, and modelled host cost.
+//
+// Usage:
+//
+//	dynsim -bench gzip -policy dynamic -metric CPU -sens 300 -interval 1 -maxfunc 0
+//	dynsim -bench mcf  -policy smarts
+//	dynsim -bench art  -policy simpoint -prof
+//	dynsim -bench gcc  -policy full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hostcost"
+	"repro/internal/sampling"
+	"repro/internal/simpoint"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gzip", "benchmark name (see cmd/spectable for the suite)")
+	policy := flag.String("policy", "dynamic", "full | smarts | simpoint | dynamic")
+	metric := flag.String("metric", "CPU", "dynamic sampling monitored variable: CPU, EXC, or I/O")
+	sens := flag.Float64("sens", 300, "dynamic sampling sensitivity (percent)")
+	intervalMul := flag.Uint64("interval", 1, "interval length multiplier (1=1M, 10=10M, 100=100M)")
+	maxFunc := flag.Int("maxfunc", 0, "max consecutive functional intervals (0 = unlimited)")
+	prof := flag.Bool("prof", false, "simpoint: charge the profiling pass (SimPoint+prof)")
+	scale := flag.Int("scale", 2000, "workload scale divisor")
+	baseline := flag.Bool("baseline", false, "also run full timing and report error/speedup")
+	flag.Parse()
+
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynsim:", err)
+		os.Exit(1)
+	}
+
+	var p sampling.Policy
+	switch *policy {
+	case "full":
+		p = sampling.FullTiming{}
+	case "smarts":
+		p = sampling.DefaultSMARTS(spec.ScaledInstr(*scale))
+	case "simpoint":
+		p = simpoint.New(*prof)
+	case "dynamic":
+		m, err := vm.ParseMetric(*metric)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim:", err)
+			os.Exit(1)
+		}
+		p = sampling.NewDynamic(m, *sens, *intervalMul, *maxFunc)
+	default:
+		fmt.Fprintf(os.Stderr, "dynsim: unknown policy %q\n", *policy)
+		os.Exit(1)
+	}
+
+	opts := core.Options{Scale: *scale}
+	s := core.NewSession(spec, opts)
+	res, err := p.Run(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark      %s (ref input %s)\n", spec.Name, spec.RefInput)
+	fmt.Printf("policy         %s\n", res.Policy)
+	fmt.Printf("instructions   %d (paper budget %d G / scale %d)\n", res.Instructions, spec.PaperGInstr, *scale)
+	fmt.Printf("estimated IPC  %.4f\n", res.EstIPC)
+	fmt.Printf("timing samples %d\n", res.Samples)
+	fmt.Printf("modelled time  %s (paper-equivalent %s)\n",
+		hostcost.FormatDuration(res.Cost.Seconds),
+		hostcost.FormatDuration(res.Cost.PaperSeconds))
+
+	if *baseline && res.Policy != "Full timing" {
+		sb := core.NewSession(spec, opts)
+		base, err := sampling.FullTiming{}.Run(sb)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("full-timing IPC %.4f (%s paper-equivalent)\n",
+			base.EstIPC, hostcost.FormatDuration(base.Cost.PaperSeconds))
+		fmt.Printf("accuracy error %.2f%%\n", res.ErrorVs(base)*100)
+		fmt.Printf("speedup        %.1fx\n", res.Speedup(base))
+	}
+}

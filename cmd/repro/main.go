@@ -1,0 +1,96 @@
+// Command repro regenerates the tables and figures of "Combining
+// Simulation and Virtualization through Dynamic Sampling" (ISPASS 2007).
+//
+// Usage:
+//
+//	repro [-scale N] [-bench gzip,mcf,...] [-only table1,fig5,...] [-parallel N] [-q]
+//
+// The workload scale divides the paper's instruction budgets; 2000 (the
+// default) runs the full suite in a few minutes on a multicore host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(r *experiments.Runner, w io.Writer) error
+}
+
+func main() {
+	scale := flag.Int("scale", 2000, "workload scale divisor (paper instructions / scale)")
+	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all 26)")
+	only := flag.String("only", "all", "comma-separated experiments: table1,table2,fig2..fig9")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (default: NumCPU)")
+	quiet := flag.Bool("q", false, "suppress per-run progress output")
+	csvDir := flag.String("csv", "", "also export figure data as CSV files into this directory")
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, Parallelism: *parallel}
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	r := experiments.NewRunner(opts)
+
+	all := []experiment{
+		{"table1", "timing simulator parameters", func(r *experiments.Runner, w io.Writer) error { return experiments.Table1(w) }},
+		{"table2", "benchmark characteristics", experiments.Table2},
+		{"fig2", "IPC vs VM statistic correlation (perlbmk)", experiments.Figure2},
+		{"fig3", "sampling scheme schematics", experiments.Figure3},
+		{"fig4", "SimPoint vs Dynamic Sampling phases (perlbmk)", experiments.Figure4},
+		{"fig5", "accuracy vs speed", experiments.Figure5},
+		{"fig6", "IPC per policy", experiments.Figure6},
+		{"fig7", "simulation time per policy", experiments.Figure7},
+		{"fig8", "IPC per benchmark", experiments.Figure8},
+		{"fig9", "simulation time per benchmark", experiments.Figure9},
+	}
+
+	want := map[string]bool{}
+	for _, n := range strings.Split(*only, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	ran := 0
+	for _, e := range all {
+		if !want["all"] && !want[e.name] {
+			continue
+		}
+		ran++
+		fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+		if err := e.run(r, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "repro: no experiment matches -only=%s\n", *only)
+		os.Exit(2)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		err := experiments.WriteAllCSV(r, func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(*csvDir, name))
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV data written to %s\n", *csvDir)
+	}
+}

@@ -1,0 +1,59 @@
+// Command spectable prints the synthetic SPEC CPU2000 suite (the static
+// half of the paper's Table 2) together with the generated workloads'
+// structure at a given scale: phase counts, kernel palettes, and
+// transition mix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	scale := flag.Int("scale", 2000, "workload scale divisor")
+	detail := flag.Bool("phases", false, "print the per-benchmark phase plans")
+	flag.Parse()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SPEC\tRef. input\tFP\tmem-bound\t#Instr (G)\t#Instr scaled\tsegments\tphases\tkernels")
+	for _, spec := range workload.Suite {
+		_, plan := workload.BuildScaled(spec, *scale)
+		kinds := map[string]bool{}
+		for _, ph := range plan.Phases {
+			kinds[strings.SplitN(ph.Kernel, "/", 2)[0]] = true
+		}
+		var palette []string
+		for k := range kinds {
+			palette = append(palette, k)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%.2f\t%d\t%d\t%d\t%d\t%s\n",
+			spec.Name, spec.RefInput, spec.FP, spec.MemBound, spec.PaperGInstr,
+			plan.TotalTarget, spec.Segments(), len(plan.Phases), strings.Join(sortStrings(palette), ","))
+	}
+	tw.Flush()
+
+	if *detail {
+		for _, spec := range workload.Suite {
+			_, plan := workload.BuildScaled(spec, *scale)
+			fmt.Printf("\n%s (interval %d):\n", spec.Name, plan.IntervalLen)
+			for _, ph := range plan.Phases {
+				fmt.Printf("  phase %2d %-10s %-5s start=%-12d budget=%-11d ws=%d words\n",
+					ph.ID, ph.Kernel, ph.Transition, ph.StartApprox, ph.Budget, ph.WSWords)
+			}
+		}
+	}
+}
+
+func sortStrings(s []string) []string {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+// Command tracer records a benchmark's instruction event stream to a
+// trace file, or replays a recorded trace through the timing model —
+// the trace-driven workflow the paper contrasts with its execution-
+// driven approach.
+//
+//	tracer -record -bench gzip -scale 50000 -n 2000000 -o gzip.trc
+//	tracer -replay -i gzip.trc
+//	tracer -replay -i gzip.trc -width 6 -window 384   # re-time a config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/power"
+	"repro/internal/timing"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func main() {
+	record := flag.Bool("record", false, "record a trace")
+	replay := flag.Bool("replay", false, "replay a trace through the timing model")
+	bench := flag.String("bench", "gzip", "benchmark to record")
+	scale := flag.Int("scale", 50_000, "workload scale divisor")
+	n := flag.Uint64("n", 0, "instructions to record (0 = to completion)")
+	out := flag.String("o", "", "output trace file (record)")
+	in := flag.String("i", "", "input trace file (replay)")
+	width := flag.Int("width", 0, "replay: override machine width")
+	window := flag.Int("window", 0, "replay: override instruction window")
+	flag.Parse()
+
+	switch {
+	case *record:
+		if *out == "" {
+			fatal("record needs -o")
+		}
+		spec, err := workload.ByName(*bench)
+		if err != nil {
+			fatal("%v", err)
+		}
+		img, _ := workload.BuildScaled(spec, *scale)
+		m := vm.New(vm.Config{})
+		m.Load(img)
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			fatal("%v", err)
+		}
+		budget := *n
+		if budget == 0 {
+			budget = spec.ScaledInstr(*scale)
+		}
+		executed := m.Run(budget, w)
+		if err := w.Close(); err != nil {
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		st, _ := os.Stat(*out)
+		fmt.Printf("recorded %d events to %s (%d bytes, %.2f B/event)\n",
+			executed, *out, st.Size(), float64(st.Size())/float64(executed))
+
+	case *replay:
+		if *in == "" {
+			fatal("replay needs -i")
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg := timing.DefaultConfig()
+		if *width > 0 {
+			cfg.Width = *width
+		}
+		if *window > 0 {
+			cfg.Window = *window
+		}
+		core := timing.NewCore(cfg)
+		meter := power.NewMeter(core, power.DefaultParams())
+		events, err := r.Replay(core)
+		if err != nil {
+			fatal("replay: %v", err)
+		}
+		mk := core.Marker()
+		e := meter.Sample()
+		fmt.Printf("replayed %d events: %d cycles, IPC %.4f\n",
+			events, mk.Cycles, float64(mk.Instrs)/float64(mk.Cycles))
+		fmt.Printf("energy %.3f mJ, avg power %.1f W, EPI %.2f nJ\n",
+			e.TotalJ()*1e3, e.AvgWatts(), e.EPI())
+		l1i, l1d, l2 := core.CacheStats()
+		fmt.Printf("miss rates: L1I %.2f%%  L1D %.2f%%  L2 %.2f%%  mispredict %.2f%%\n",
+			l1i.MissRate()*100, l1d.MissRate()*100, l2.MissRate()*100,
+			core.Predictor().Stats().MispredRate()*100)
+
+	default:
+		fatal("need -record or -replay")
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tracer: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Policysweep explores the Dynamic Sampling configuration space on one
+// benchmark — a miniature of the paper's Figure 5: monitored variable x
+// sensitivity x interval length x max_func, each reported as (accuracy
+// error, speedup) against full timing.
+//
+//	go run ./examples/policysweep -bench mcf -scale 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "mcf", "benchmark to sweep")
+	scale := flag.Int("scale", 10_000, "workload scale divisor")
+	flag.Parse()
+
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.Options{Scale: *scale}
+
+	base, err := sampling.FullTiming{}.Run(core.NewSession(spec, opts))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: full-timing IPC %.4f\n\n", spec.Name, base.EstIPC)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "configuration\tIPC\terror\tspeedup\tsamples")
+	for _, metric := range []vm.Metric{vm.MetricCPU, vm.MetricEXC, vm.MetricIO} {
+		for _, sens := range []float64{100, 300, 500} {
+			for _, mul := range []uint64{1, 10} {
+				for _, maxf := range []int{0, 10} {
+					p := sampling.NewDynamic(metric, sens, mul, maxf)
+					res, err := p.Run(core.NewSession(spec, opts))
+					if err != nil {
+						log.Fatal(err)
+					}
+					fmt.Fprintf(tw, "%s\t%.4f\t%.2f%%\t%.1fx\t%d\n",
+						res.Policy, res.EstIPC,
+						res.ErrorVs(base)*100, res.Speedup(base), res.Samples)
+				}
+			}
+		}
+	}
+	tw.Flush()
+}

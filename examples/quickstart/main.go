@@ -1,0 +1,54 @@
+// Quickstart: simulate one SPEC CPU2000 stand-in under Dynamic Sampling
+// and compare the estimate against full timing simulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hostcost"
+	"repro/internal/sampling"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Pick a benchmark from the suite (Table 2 of the paper).
+	spec, err := workload.ByName("gzip")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A Session couples the functional VM with the timing core. Scale
+	// divides the paper's instruction budget (70 G for gzip).
+	opts := core.Options{Scale: 10_000}
+
+	// Reference: full timing simulation of every instruction.
+	full, err := sampling.FullTiming{}.Run(core.NewSession(spec, opts))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's contribution: Dynamic Sampling monitoring the VM's
+	// translation-cache invalidations (the "CPU" variable) with a 300%
+	// sensitivity threshold, 1M-instruction intervals, and no cap on
+	// consecutive functional intervals.
+	ds := sampling.NewDynamic(vm.MetricCPU, 300, 1, 0)
+	fast, err := ds.Run(core.NewSession(spec, opts))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark      %s (ref input %s, %d G paper instructions)\n",
+		spec.Name, spec.RefInput, spec.PaperGInstr)
+	fmt.Printf("full timing    IPC %.4f   modelled host time %s\n",
+		full.EstIPC, hostcost.FormatDuration(full.Cost.PaperSeconds))
+	fmt.Printf("%s   IPC %.4f   modelled host time %s\n",
+		fast.Policy, fast.EstIPC, hostcost.FormatDuration(fast.Cost.PaperSeconds))
+	fmt.Printf("accuracy error %.2f%%\n", fast.ErrorVs(full)*100)
+	fmt.Printf("speedup        %.0fx with %d timing samples at detected phase changes\n",
+		fast.Speedup(full), fast.Samples)
+}

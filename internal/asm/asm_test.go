@@ -1,0 +1,176 @@
+package asm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestLabelsAndBackpatch(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.Jmp("end") // forward
+	b.Label("mid")
+	b.Nop()
+	b.Br(isa.OpBne, 1, 2, "mid") // backward
+	b.Label("end")
+	b.Halt()
+	words := b.Words()
+
+	jmp := isa.Decode(words[0])
+	if jmp.Op != isa.OpJmp || jmp.Imm != 3*isa.InstBytes {
+		t.Fatalf("forward jmp imm = %d, want %d", jmp.Imm, 3*isa.InstBytes)
+	}
+	br := isa.Decode(words[2])
+	if br.Op != isa.OpBne || br.Imm != -isa.InstBytes {
+		t.Fatalf("backward branch imm = %d, want %d", br.Imm, -isa.InstBytes)
+	}
+}
+
+func TestAddrAndPC(t *testing.T) {
+	b := NewBuilder(0x2000)
+	b.Nop()
+	b.Label("here")
+	if b.Addr("here") != 0x2008 {
+		t.Fatalf("Addr = %#x", b.Addr("here"))
+	}
+	if b.PC() != 0x2008 || b.Len() != 1 {
+		t.Fatalf("PC=%#x Len=%d", b.PC(), b.Len())
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate label must panic")
+		}
+	}()
+	b := NewBuilder(0)
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undefined label must panic at Words()")
+		}
+	}()
+	b := NewBuilder(0)
+	b.Jmp("nowhere")
+	b.Words()
+}
+
+func TestMisalignedBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned base must panic")
+		}
+	}()
+	NewBuilder(0x1001)
+}
+
+// TestMoviRoundTrip checks that the MOVI/MOVHI expansion reconstructs
+// any 64-bit constant when interpreted with the ISA semantics.
+func TestMoviRoundTrip(t *testing.T) {
+	emulate := func(words []uint64) uint64 {
+		var r uint64
+		for _, w := range words {
+			in := isa.Decode(w)
+			switch in.Op {
+			case isa.OpMovi:
+				r = uint64(int64(in.Imm))
+			case isa.OpMovhi:
+				r |= uint64(uint32(in.Imm)) << 32
+			case isa.OpSlli:
+				r <<= uint(in.Imm) & 63
+			case isa.OpSrli:
+				r >>= uint(in.Imm) & 63
+			default:
+				t.Fatalf("unexpected op %v in Movi expansion", in.Op)
+			}
+		}
+		return r
+	}
+	f := func(v int64) bool {
+		b := NewBuilder(0)
+		b.Movi(1, v)
+		return emulate(b.Words()) == uint64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	// Boundary values.
+	for _, v := range []int64{0, 1, -1, 1 << 31, -(1 << 31), 1<<31 - 1, -(1 << 31) - 1, 1<<62 + 12345, -(1 << 62)} {
+		b := NewBuilder(0)
+		b.Movi(1, v)
+		if got := emulate(b.Words()); got != uint64(v) {
+			t.Errorf("Movi(%d) reconstructs %#x", v, got)
+		}
+	}
+}
+
+func TestMoviSmallIsOneInstruction(t *testing.T) {
+	b := NewBuilder(0)
+	b.Movi(1, 42)
+	b.Movi(2, -42)
+	if b.Len() != 2 {
+		t.Fatalf("small constants should be 1 instruction each, got %d total", b.Len())
+	}
+}
+
+func TestDataSeg(t *testing.T) {
+	d := NewDataSeg(0x1000_0000)
+	a := d.Alloc("a", 16, 8)
+	bAddr := d.Alloc("b", 100, 64)
+	if a != 0x1000_0000 {
+		t.Fatalf("first alloc at %#x", a)
+	}
+	if bAddr%64 != 0 || bAddr < a+16 {
+		t.Fatalf("aligned alloc at %#x", bAddr)
+	}
+	if d.Addr("a") != a || d.Addr("b") != bAddr {
+		t.Fatal("Addr lookup broken")
+	}
+	if d.End() < bAddr+100 {
+		t.Fatal("End too small")
+	}
+	d.SetWord(a, 77)
+	found := false
+	for _, seg := range d.Segments() {
+		if seg.Base == a && seg.Words[0] == 77 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("initialised word missing from segments")
+	}
+}
+
+func TestDataSegPanics(t *testing.T) {
+	d := NewDataSeg(0)
+	d.Alloc("x", 8, 8)
+	for _, f := range []func(){
+		func() { d.Alloc("x", 8, 8) }, // duplicate
+		func() { d.Alloc("y", 8, 3) }, // non-power-of-two align
+		func() { d.Addr("missing") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestImageBytes(t *testing.T) {
+	var img Image
+	img.AddSegment(0, []uint64{1, 2, 3})
+	img.AddSegment(100, []uint64{4})
+	if img.Bytes() != 32 {
+		t.Fatalf("Bytes = %d, want 32", img.Bytes())
+	}
+}

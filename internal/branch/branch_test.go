@@ -1,0 +1,173 @@
+package branch
+
+import (
+	"testing"
+)
+
+func TestBiasedBranchConverges(t *testing.T) {
+	p := New(Config{})
+	// Always-taken branch: after warm-up, zero mispredictions.
+	for i := 0; i < 100; i++ {
+		p.OnBranch(0x1000, true)
+	}
+	before := p.Stats().DirMispred
+	for i := 0; i < 1000; i++ {
+		p.OnBranch(0x1000, true)
+	}
+	if got := p.Stats().DirMispred - before; got != 0 {
+		t.Fatalf("%d mispredictions on an always-taken branch after warm-up", got)
+	}
+}
+
+func TestAlternatingPatternLearned(t *testing.T) {
+	// Gshare with global history learns a strict alternation.
+	p := New(Config{})
+	taken := false
+	for i := 0; i < 2000; i++ {
+		p.OnBranch(0x2000, taken)
+		taken = !taken
+	}
+	before := p.Stats().DirMispred
+	for i := 0; i < 1000; i++ {
+		p.OnBranch(0x2000, taken)
+		taken = !taken
+	}
+	if got := p.Stats().DirMispred - before; got > 10 {
+		t.Fatalf("alternating pattern not learned: %d/1000 mispredictions", got)
+	}
+}
+
+func TestColdPredictsNotTaken(t *testing.T) {
+	p := New(Config{})
+	if mis := p.OnBranch(0x3000, false); mis {
+		t.Fatal("cold counters must predict not-taken")
+	}
+	if mis := p.OnBranch(0x3008, true); !mis {
+		t.Fatal("cold counters mispredict a taken branch")
+	}
+}
+
+func TestMispredRateBounded(t *testing.T) {
+	p := New(Config{})
+	// Pseudo-random stream: misprediction rate must be near 50%, and
+	// never pathological.
+	x := uint64(0x123456789)
+	for i := 0; i < 50000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		p.OnBranch(0x4000, x>>63 == 1)
+	}
+	r := p.Stats().MispredRate()
+	if r < 0.35 || r > 0.65 {
+		t.Fatalf("random-stream misprediction rate %.2f outside [0.35, 0.65]", r)
+	}
+}
+
+func TestBTBTargets(t *testing.T) {
+	p := New(Config{})
+	if !p.OnTarget(0x5000, 0x6000) {
+		t.Fatal("cold BTB must mispredict")
+	}
+	if p.OnTarget(0x5000, 0x6000) {
+		t.Fatal("repeated target must hit")
+	}
+	if !p.OnTarget(0x5000, 0x7000) {
+		t.Fatal("changed target must mispredict")
+	}
+	st := p.Stats()
+	if st.TargetPred != 3 || st.TargetMiss != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRASMatchedCalls(t *testing.T) {
+	p := New(Config{})
+	// Nested call/return, within RAS depth: all returns predicted.
+	var addrs []uint64
+	for i := uint64(0); i < 8; i++ {
+		ra := 0x1000 + i*64
+		p.OnCall(ra)
+		addrs = append(addrs, ra)
+	}
+	for i := len(addrs) - 1; i >= 0; i-- {
+		if p.OnReturn(addrs[i]) {
+			t.Fatalf("return %d mispredicted", i)
+		}
+	}
+	if p.Stats().ReturnMiss != 0 {
+		t.Fatal("no return should miss within RAS depth")
+	}
+}
+
+func TestRASOverflow(t *testing.T) {
+	p := New(Config{RASEntries: 4})
+	var addrs []uint64
+	for i := uint64(0); i < 8; i++ { // deeper than the stack
+		ra := 0x2000 + i*64
+		p.OnCall(ra)
+		addrs = append(addrs, ra)
+	}
+	misses := 0
+	for i := len(addrs) - 1; i >= 0; i-- {
+		if p.OnReturn(addrs[i]) {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Fatal("overflowed RAS must mispredict some returns")
+	}
+	// The innermost 4 must still predict correctly.
+	p2 := New(Config{RASEntries: 4})
+	for i := uint64(0); i < 8; i++ {
+		p2.OnCall(0x2000 + i*64)
+	}
+	for i := 7; i >= 4; i-- {
+		if p2.OnReturn(0x2000 + uint64(i)*64) {
+			t.Fatalf("innermost return %d must predict", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 100; i++ {
+		p.OnBranch(0x1000, true)
+	}
+	p.OnTarget(0x5000, 0x6000)
+	p.OnCall(0x9000)
+	st := p.Stats()
+	p.Reset()
+	if p.Stats() != st {
+		t.Fatal("reset must preserve statistics")
+	}
+	if mis := p.OnBranch(0x1000, true); !mis {
+		t.Fatal("after reset, counters must be cold again")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Stats {
+		p := New(Config{})
+		x := uint64(7)
+		for i := 0; i < 10000; i++ {
+			x = x*6364136223846793005 + 1
+			p.OnBranch(uint64(i%64)*8, x>>62 == 0)
+			if i%97 == 0 {
+				p.OnCall(uint64(i))
+				p.OnReturn(uint64(i))
+			}
+		}
+		return p.Stats()
+	}
+	if run() != run() {
+		t.Fatal("predictor must be deterministic")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two table must panic")
+		}
+	}()
+	New(Config{GshareEntries: 1000})
+}

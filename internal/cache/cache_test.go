@@ -1,0 +1,174 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways x 64B lines = 512 B.
+	return New(Config{Name: "t", SizeBytes: 512, Ways: 2, LineBytes: 64})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	if c.Access(0x100) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.Access(0x100) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(0x13f) {
+		t.Fatal("same line must hit")
+	}
+	if c.Access(0x140) {
+		t.Fatal("next line must miss")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := small()
+	// Three lines mapping to set 0 (line addr multiples of 4*64=256).
+	a, b, d := uint64(0), uint64(256), uint64(512)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is MRU, b is LRU
+	c.Access(d) // evicts b
+	if !c.Contains(a) {
+		t.Fatal("a must survive (MRU)")
+	}
+	if c.Contains(b) {
+		t.Fatal("b must be evicted (LRU)")
+	}
+	if !c.Contains(d) {
+		t.Fatal("d must be resident")
+	}
+}
+
+func TestContainsNoSideEffects(t *testing.T) {
+	c := small()
+	c.Access(0)
+	before := c.Stats()
+	c.Contains(0)
+	c.Contains(4096)
+	if c.Stats() != before {
+		t.Fatal("Contains must not touch statistics")
+	}
+	// Contains must not refresh LRU: make 0 LRU then check.
+	c.Access(256)
+	c.Contains(0) // must NOT move 0 to MRU
+	c.Access(512) // evicts LRU
+	if c.Contains(0) {
+		t.Fatal("Contains refreshed the LRU state")
+	}
+}
+
+// TestWorkingSetResidency: a working set no larger than the cache, once
+// accessed, hits forever after — for any alignment (property test).
+func TestWorkingSetResidency(t *testing.T) {
+	f := func(baseRaw uint16) bool {
+		c := New(Config{Name: "p", SizeBytes: 4096, Ways: 4, LineBytes: 64})
+		base := uint64(baseRaw) << 12 // page aligned: lines map cleanly
+		// 64 lines = full capacity.
+		for i := uint64(0); i < 64; i++ {
+			c.Access(base + i*64)
+		}
+		for i := uint64(0); i < 64; i++ {
+			if !c.Access(base + i*64) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small()
+	c.Access(0x100)
+	c.Flush()
+	if c.Contains(0x100) {
+		t.Fatal("flush must invalidate")
+	}
+	if c.Stats().Misses != 1 {
+		t.Fatal("flush must preserve statistics")
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	bad := []Config{
+		{},
+		{SizeBytes: 100, Ways: 2, LineBytes: 64}, // non-pow2 sets
+		{SizeBytes: 512, Ways: 2, LineBytes: 60}, // non-pow2 line
+		{SizeBytes: 512, Ways: 0, LineBytes: 64},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v must panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestTLBFullyAssociative(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "dtlb", Entries: 4, Ways: 0, PageShift: 12})
+	// 4 distinct pages fit regardless of address bits.
+	pages := []uint64{0x0000, 0x1000, 0x9000, 0x5000}
+	for _, p := range pages {
+		if tlb.Access(p) {
+			t.Fatal("cold TLB access must miss")
+		}
+	}
+	for _, p := range pages {
+		if !tlb.Access(p) {
+			t.Fatalf("page %#x must be resident (fully associative)", p)
+		}
+	}
+	// Fifth page evicts the LRU (0x0000 was refreshed above... LRU is
+	// the least recently *accessed*, which is 0x0000 after the loop ran
+	// in order; actually 0x0000 was re-accessed first, so LRU = 0x0000?
+	// After the second loop the order is 0x5000 MRU ... 0x0000 LRU.
+	tlb.Access(0xa000)
+	if tlb.Contains(0x0000) {
+		t.Fatal("LRU page must be evicted")
+	}
+	st := tlb.Stats()
+	if st.Hits != 4 || st.Misses != 5 {
+		t.Fatalf("tlb stats %+v", st)
+	}
+}
+
+func TestTLBSetAssociative(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "l2tlb", Entries: 512, Ways: 4, PageShift: 12})
+	if tlb.Access(0x1000) {
+		t.Fatal("cold miss expected")
+	}
+	if !tlb.Access(0x1fff) {
+		t.Fatal("same page must hit")
+	}
+	tlb.Flush()
+	if tlb.Contains(0x1000) {
+		t.Fatal("flush must clear")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Fatal("empty stats miss rate must be 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.MissRate() != 0.25 || s.Accesses() != 4 {
+		t.Fatalf("missrate %v accesses %d", s.MissRate(), s.Accesses())
+	}
+}

@@ -1,0 +1,120 @@
+// Package device implements the peripheral models attached to the
+// functional VM: a console and a block device. Device activity is what
+// the paper's "I/O operations" metric observes, so the devices keep
+// transfer statistics that the VM surfaces through its internal-stats
+// interface.
+package device
+
+// Console is a write-only character device. Output is counted, not
+// stored, except for a small tail kept for tests and debugging.
+type Console struct {
+	BytesWritten uint64
+	Writes       uint64
+	tail         []byte
+}
+
+// tailCap bounds the retained output tail.
+const tailCap = 4096
+
+// Write records n bytes of console output, retaining at most the last
+// tailCap bytes of data for inspection.
+func (c *Console) Write(data []byte) {
+	c.BytesWritten += uint64(len(data))
+	c.Writes++
+	c.tail = append(c.tail, data...)
+	if len(c.tail) > tailCap {
+		c.tail = c.tail[len(c.tail)-tailCap:]
+	}
+}
+
+// Tail returns the retained output tail.
+func (c *Console) Tail() []byte { return c.tail }
+
+// Reset clears the console state.
+func (c *Console) Reset() { *c = Console{} }
+
+// Clone returns a deep copy (for VM snapshots).
+func (c *Console) Clone() *Console {
+	cp := *c
+	cp.tail = append([]byte(nil), c.tail...)
+	return &cp
+}
+
+// SectorWords is the size of one block-device sector in 64-bit words
+// (512 bytes, the classic sector size).
+const SectorWords = 64
+
+// SectorBytes is the sector size in bytes.
+const SectorBytes = SectorWords * 8
+
+// Block is an in-memory block device. Sectors never written by the guest
+// read back deterministic pseudo-random content derived from the device
+// seed — this stands in for the benchmark "reference input" files the
+// paper's workloads read from disk.
+type Block struct {
+	Seed         uint64
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	dirty        map[uint64]*[SectorWords]uint64
+}
+
+// NewBlock creates a block device whose unwritten content is derived
+// from seed.
+func NewBlock(seed uint64) *Block {
+	return &Block{Seed: seed, dirty: make(map[uint64]*[SectorWords]uint64)}
+}
+
+// fillWord is the deterministic content of word i of an unwritten sector.
+func (b *Block) fillWord(sector, i uint64) uint64 {
+	x := sector*0x9e3779b97f4a7c15 + i*0xbf58476d1ce4e5b9 + b.Seed
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ReadSector copies one sector into dst.
+func (b *Block) ReadSector(sector uint64, dst *[SectorWords]uint64) {
+	b.Reads++
+	b.BytesRead += SectorBytes
+	if s, ok := b.dirty[sector]; ok {
+		*dst = *s
+		return
+	}
+	for i := range dst {
+		dst[i] = b.fillWord(sector, uint64(i))
+	}
+}
+
+// WriteSector stores one sector from src.
+func (b *Block) WriteSector(sector uint64, src *[SectorWords]uint64) {
+	b.Writes++
+	b.BytesWritten += SectorBytes
+	s, ok := b.dirty[sector]
+	if !ok {
+		s = new([SectorWords]uint64)
+		b.dirty[sector] = s
+	}
+	*s = *src
+}
+
+// DirtySectors returns the number of sectors the guest has written.
+func (b *Block) DirtySectors() int { return len(b.dirty) }
+
+// Clone returns a deep copy (for VM snapshots).
+func (b *Block) Clone() *Block {
+	cp := &Block{
+		Seed: b.Seed, Reads: b.Reads, Writes: b.Writes,
+		BytesRead: b.BytesRead, BytesWritten: b.BytesWritten,
+		dirty: make(map[uint64]*[SectorWords]uint64, len(b.dirty)),
+	}
+	for sec, s := range b.dirty {
+		d := *s
+		cp.dirty[sec] = &d
+	}
+	return cp
+}

@@ -1,0 +1,105 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestConsoleCountsAndTail(t *testing.T) {
+	var c Console
+	c.Write([]byte("hello "))
+	c.Write([]byte("world"))
+	if c.BytesWritten != 11 || c.Writes != 2 {
+		t.Fatalf("bytes=%d writes=%d", c.BytesWritten, c.Writes)
+	}
+	if string(c.Tail()) != "hello world" {
+		t.Fatalf("tail = %q", c.Tail())
+	}
+}
+
+func TestConsoleTailBounded(t *testing.T) {
+	var c Console
+	big := bytes.Repeat([]byte("x"), 3*tailCap)
+	c.Write(big)
+	if len(c.Tail()) > tailCap {
+		t.Fatalf("tail grew to %d", len(c.Tail()))
+	}
+	if c.BytesWritten != uint64(len(big)) {
+		t.Fatal("byte count must not be truncated")
+	}
+}
+
+func TestConsoleClone(t *testing.T) {
+	var c Console
+	c.Write([]byte("abc"))
+	cp := c.Clone()
+	c.Write([]byte("def"))
+	if string(cp.Tail()) != "abc" {
+		t.Fatal("clone must be independent")
+	}
+}
+
+func TestBlockDeterministicFill(t *testing.T) {
+	b1, b2 := NewBlock(42), NewBlock(42)
+	var s1, s2 [SectorWords]uint64
+	b1.ReadSector(7, &s1)
+	b2.ReadSector(7, &s2)
+	if s1 != s2 {
+		t.Fatal("same seed must give identical content")
+	}
+	b3 := NewBlock(43)
+	var s3 [SectorWords]uint64
+	b3.ReadSector(7, &s3)
+	if s1 == s3 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestBlockWriteReadRoundTrip(t *testing.T) {
+	b := NewBlock(1)
+	f := func(sector uint64, seedWord uint64) bool {
+		sector %= 1 << 20
+		var w, r [SectorWords]uint64
+		for i := range w {
+			w[i] = seedWord + uint64(i)
+		}
+		b.WriteSector(sector, &w)
+		b.ReadSector(sector, &r)
+		return w == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockStats(t *testing.T) {
+	b := NewBlock(0)
+	var s [SectorWords]uint64
+	b.ReadSector(0, &s)
+	b.WriteSector(1, &s)
+	if b.Reads != 1 || b.Writes != 1 {
+		t.Fatalf("reads=%d writes=%d", b.Reads, b.Writes)
+	}
+	if b.BytesRead != SectorBytes || b.BytesWritten != SectorBytes {
+		t.Fatal("byte accounting wrong")
+	}
+	if b.DirtySectors() != 1 {
+		t.Fatalf("dirty = %d", b.DirtySectors())
+	}
+}
+
+func TestBlockClone(t *testing.T) {
+	b := NewBlock(5)
+	var s [SectorWords]uint64
+	s[0] = 111
+	b.WriteSector(3, &s)
+	cp := b.Clone()
+	s[0] = 222
+	b.WriteSector(3, &s)
+	var got [SectorWords]uint64
+	cp.ReadSector(3, &got)
+	if got[0] != 111 {
+		t.Fatal("clone must deep-copy dirty sectors")
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"repro/internal/sampling"
+	"repro/internal/simpoint"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// BaselinePolicies returns the four reference points of Figure 5:
+// full timing, SMARTS, and SimPoint with and without profiling cost.
+func BaselinePolicies(scale int) []sampling.Policy {
+	// SMARTS's configuration depends on the benchmark budget; the
+	// runner builds sessions per benchmark, so use a mid-suite budget
+	// to derive one shared configuration — DefaultSMARTS only depends
+	// on it through clamping, and the 97:2:1 structure is preserved
+	// for every benchmark of the suite.
+	ref := workload.Suite[0].ScaledInstr(scale)
+	return []sampling.Policy{
+		// The baseline run keeps its full interval trace: Figures 2
+		// and 4 read it back.
+		sampling.FullTiming{TraceIntervals: 1 << 20},
+		sampling.DefaultSMARTS(ref),
+		simpoint.New(false),
+		simpoint.New(true),
+	}
+}
+
+// Fig67Policies returns the Dynamic Sampling configurations of
+// Figures 6 and 7: CPU-300 and I/O-100 with interval lengths 1M/10M/100M
+// and max_func 10/∞.
+func Fig67Policies() []sampling.Policy {
+	var out []sampling.Policy
+	for _, mc := range []struct {
+		metric vm.Metric
+		sens   float64
+	}{{vm.MetricCPU, 300}, {vm.MetricIO, 100}} {
+		for _, mul := range []uint64{1, 10, 100} {
+			for _, maxf := range []int{10, 0} {
+				out = append(out, sampling.NewDynamic(mc.metric, mc.sens, mul, maxf))
+			}
+		}
+	}
+	return out
+}
+
+// Fig5Extra returns the additional Dynamic Sampling points Figure 5
+// plots beyond the Figure 6/7 grid.
+func Fig5Extra() []sampling.Policy {
+	return []sampling.Policy{
+		sampling.NewDynamic(vm.MetricCPU, 300, 1, 100),
+		sampling.NewDynamic(vm.MetricEXC, 300, 1, 10),
+		sampling.NewDynamic(vm.MetricEXC, 500, 10, 10),
+		sampling.NewDynamic(vm.MetricEXC, 300, 1, 0),
+	}
+}
+
+// AllPolicies returns every policy the evaluation section uses.
+func AllPolicies(scale int) []sampling.Policy {
+	out := BaselinePolicies(scale)
+	out = append(out, Fig67Policies()...)
+	out = append(out, Fig5Extra()...)
+	return out
+}

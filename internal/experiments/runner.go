@@ -1,0 +1,373 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5). Each experiment function renders a text
+// artifact comparable to the published one; the Runner executes and
+// memoises (benchmark, policy) measurements, in parallel across
+// benchmarks, so that the figures sharing data (5, 6, 7, 8, 9) pay for
+// each simulation once.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+	"repro/internal/simpoint"
+	"repro/internal/workload"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Scale divides paper instruction budgets (default 2000 — high
+	// fidelity; raise it for faster, noisier runs).
+	Scale int
+	// Benchmarks restricts the suite (nil/empty = all 26).
+	Benchmarks []string
+	// Parallelism bounds concurrent benchmark simulations
+	// (default NumCPU).
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (o *Options) setDefaults() {
+	if o.Scale <= 0 {
+		o.Scale = 2000
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = workload.Names()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+}
+
+// Runner memoises measurements across experiments.
+type Runner struct {
+	opts Options
+
+	mu       sync.Mutex
+	results  map[string]map[string]sampling.Result // bench -> policy -> result
+	analyses map[string]simpoint.Analysis
+	inflight map[string]*sync.WaitGroup // bench+"\x00"+policy
+	sem      chan struct{}
+}
+
+// NewRunner creates a Runner.
+func NewRunner(opts Options) *Runner {
+	opts.setDefaults()
+	return &Runner{
+		opts:     opts,
+		results:  make(map[string]map[string]sampling.Result),
+		analyses: make(map[string]simpoint.Analysis),
+		inflight: make(map[string]*sync.WaitGroup),
+		sem:      make(chan struct{}, opts.Parallelism),
+	}
+}
+
+// Options returns the runner's effective options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Benchmarks returns the benchmark subset in suite order.
+func (r *Runner) Benchmarks() []string { return r.opts.Benchmarks }
+
+func (r *Runner) sessionOptions() core.Options {
+	return core.Options{Scale: r.opts.Scale}
+}
+
+func (r *Runner) progress(format string, args ...interface{}) {
+	if r.opts.Progress != nil {
+		fmt.Fprintf(r.opts.Progress, format+"\n", args...)
+	}
+}
+
+// store records a result under its policy name.
+func (r *Runner) store(bench string, res sampling.Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.results[bench] == nil {
+		r.results[bench] = make(map[string]sampling.Result)
+	}
+	r.results[bench][res.Policy] = res
+}
+
+// lookup returns a memoised result.
+func (r *Runner) lookup(bench, policy string) (sampling.Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.results[bench][policy]
+	return res, ok
+}
+
+// policyKey identifies the execution a policy maps to: both SimPoint
+// accounting variants come from one pipeline execution.
+func policyKey(p sampling.Policy) string {
+	if _, ok := p.(simpoint.Policy); ok {
+		return "SimPoint*"
+	}
+	return p.Name()
+}
+
+// Run executes (or returns the memoised) measurement of a policy on a
+// benchmark. Concurrent callers of the same pair share one execution.
+func (r *Runner) Run(bench string, p sampling.Policy) (sampling.Result, error) {
+	key := bench + "\x00" + policyKey(p)
+	for {
+		if res, ok := r.lookup(bench, p.Name()); ok {
+			return res, nil
+		}
+		r.mu.Lock()
+		if wg, busy := r.inflight[key]; busy {
+			r.mu.Unlock()
+			wg.Wait()
+			continue
+		}
+		wg := &sync.WaitGroup{}
+		wg.Add(1)
+		r.inflight[key] = wg
+		r.mu.Unlock()
+
+		r.sem <- struct{}{}
+		res, err := r.execute(bench, p)
+		<-r.sem
+
+		r.mu.Lock()
+		delete(r.inflight, key)
+		r.mu.Unlock()
+		wg.Done()
+		if err != nil {
+			return sampling.Result{}, err
+		}
+		return res, nil
+	}
+}
+
+func (r *Runner) execute(bench string, p sampling.Policy) (sampling.Result, error) {
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return sampling.Result{}, err
+	}
+	// SimPoint is special-cased: one execution produces both accounting
+	// variants and the analysis for Table 2.
+	if sp, ok := p.(simpoint.Policy); ok {
+		return r.runSimPoint(spec, sp)
+	}
+	s := core.NewSession(spec, r.sessionOptions())
+	res, err := p.Run(s)
+	if err != nil {
+		return sampling.Result{}, fmt.Errorf("experiments: %s on %s: %w", p.Name(), bench, err)
+	}
+	r.store(bench, res)
+	r.progress("done %-14s %s (ipc=%.4f, %d samples)", bench, res.Policy, res.EstIPC, res.Samples)
+	return res, nil
+}
+
+// runSimPoint runs the SimPoint pipeline once, storing both "SimPoint"
+// and "SimPoint+prof" results plus the analysis, then returns the one
+// that was asked for.
+func (r *Runner) runSimPoint(spec workload.Spec, p simpoint.Policy) (sampling.Result, error) {
+	s := core.NewSession(spec, r.sessionOptions())
+
+	withProf := p
+	withProf.ChargeProfiling = true
+	an, err := withProf.Analyse(s)
+	if err != nil {
+		return sampling.Result{}, err
+	}
+	profiledInstr := s.Executed()
+	profCost := s.Meter().Report(s.Scale())
+	s.ResetMeter()
+
+	// Measurement pass (shared by both accounting variants).
+	noProf := p
+	noProf.ChargeProfiling = false
+	res, err := measureSimPoints(s, an, noProf)
+	if err != nil {
+		return sampling.Result{}, err
+	}
+	res.Instructions = profiledInstr
+
+	resNoProf := res
+	resNoProf.Policy = "SimPoint"
+	r.store(spec.Name, resNoProf)
+
+	resWith := res
+	resWith.Policy = "SimPoint+prof"
+	resWith.Cost.Units += profCost.Units
+	resWith.Cost.Seconds += profCost.Seconds
+	resWith.Cost.PaperSeconds += profCost.PaperSeconds
+	for i := range resWith.Cost.ByMode {
+		resWith.Cost.ByMode[i] += profCost.ByMode[i]
+		resWith.Cost.Instrs[i] += profCost.Instrs[i]
+	}
+	r.store(spec.Name, resWith)
+
+	r.mu.Lock()
+	r.analyses[spec.Name] = an
+	r.mu.Unlock()
+	r.progress("done %-14s SimPoint (k=%d, ipc=%.4f)", spec.Name, an.K, res.EstIPC)
+
+	if p.ChargeProfiling {
+		return resWith, nil
+	}
+	return resNoProf, nil
+}
+
+// measureSimPoints performs SimPoint's measurement pass on a fresh
+// session state.
+func measureSimPoints(s *core.Session, an simpoint.Analysis, p simpoint.Policy) (sampling.Result, error) {
+	s.Reset()
+	interval := s.IntervalLen()
+	warm := interval * uint64(p.WarmIntervals)
+	res := sampling.Result{Policy: p.Name(), Bench: s.Spec().Name}
+	var cpi, wsum float64
+	for j, point := range an.Points {
+		target := uint64(point) * interval
+		warmStart := target
+		if warmStart >= warm {
+			warmStart -= warm
+		} else {
+			warmStart = 0
+		}
+		if warmStart > s.Executed() {
+			s.RunFastFree(warmStart - s.Executed())
+		}
+		s.Meter().ChargeRestore()
+		if target > s.Executed() {
+			s.RunDetailWarm(target - s.Executed())
+		}
+		ipc, ex := s.RunTimed(interval)
+		if ex == 0 {
+			break
+		}
+		if ipc > 0 {
+			cpi += an.Weights[j] / ipc
+			wsum += an.Weights[j]
+		}
+		res.Samples++
+	}
+	if wsum > 0 && cpi > 0 {
+		res.EstIPC = wsum / cpi
+	}
+	res.Cost = s.Meter().Report(s.Scale())
+	return res, nil
+}
+
+// Analysis returns the memoised SimPoint analysis for a benchmark,
+// running the SimPoint pipeline if needed.
+func (r *Runner) Analysis(bench string) (simpoint.Analysis, error) {
+	r.mu.Lock()
+	an, ok := r.analyses[bench]
+	r.mu.Unlock()
+	if ok {
+		return an, nil
+	}
+	if _, err := r.Run(bench, simpoint.New(false)); err != nil {
+		return simpoint.Analysis{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.analyses[bench], nil
+}
+
+// Baseline returns the full-timing result for a benchmark. The baseline
+// always records its interval trace (Figures 2 and 4 consume it).
+func (r *Runner) Baseline(bench string) (sampling.Result, error) {
+	return r.Run(bench, sampling.FullTiming{TraceIntervals: 1 << 20})
+}
+
+// RunAll executes a set of policies over the whole benchmark subset in
+// parallel and returns benchmark -> policy name -> result.
+func (r *Runner) RunAll(policies []sampling.Policy) (map[string]map[string]sampling.Result, error) {
+	type job struct {
+		bench  string
+		policy sampling.Policy
+	}
+	var jobs []job
+	for _, b := range r.opts.Benchmarks {
+		for _, p := range policies {
+			jobs = append(jobs, job{b, p})
+		}
+	}
+	errs := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			_, err := r.Run(j.bench, j.policy)
+			errs <- err
+		}(j)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]map[string]sampling.Result, len(r.opts.Benchmarks))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, b := range r.opts.Benchmarks {
+		m := make(map[string]sampling.Result, len(r.results[b]))
+		for k, v := range r.results[b] {
+			m[k] = v
+		}
+		out[b] = m
+	}
+	return out, nil
+}
+
+// Aggregate holds suite-level accuracy/speed for one policy.
+type Aggregate struct {
+	Policy string
+	// MeanIPC is the arithmetic mean of per-benchmark IPC estimates.
+	MeanIPC float64
+	// MeanErrPct is the mean absolute relative IPC error vs full timing.
+	MeanErrPct float64
+	// MaxErrPct is the worst per-benchmark error.
+	MaxErrPct float64
+	// TotalSeconds is the summed modelled (paper-equivalent) host time.
+	TotalSeconds float64
+	// Speedup is total full-timing cost over total policy cost.
+	Speedup float64
+	// Samples is the summed number of timing measurements.
+	Samples int
+}
+
+// AggregateFor computes suite-level numbers for one policy name from a
+// results matrix.
+func AggregateFor(results map[string]map[string]sampling.Result, benches []string, policy string) Aggregate {
+	agg := Aggregate{Policy: policy}
+	var baseUnits, polUnits float64
+	n := 0
+	for _, b := range benches {
+		res, ok := results[b][policy]
+		base, okb := results[b]["Full timing"]
+		if !ok || !okb {
+			continue
+		}
+		n++
+		agg.MeanIPC += res.EstIPC
+		e := res.ErrorVs(base) * 100
+		agg.MeanErrPct += e
+		if e > agg.MaxErrPct {
+			agg.MaxErrPct = e
+		}
+		agg.TotalSeconds += res.Cost.PaperSeconds
+		agg.Samples += res.Samples
+		baseUnits += base.Cost.Units
+		polUnits += res.Cost.Units
+	}
+	if n > 0 {
+		agg.MeanIPC /= float64(n)
+		agg.MeanErrPct /= float64(n)
+	}
+	if polUnits > 0 {
+		agg.Speedup = baseUnits / polUnits
+	}
+	return agg
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestSimPointKDiscrimination checks that the cluster-count selection
+// tracks workload phase populations: sixtrack (24 macro-segments in the
+// paper, 235 simpoints) must not get fewer clusters than wupwise (the
+// paper's most uniform benchmark, 28 simpoints).
+func TestSimPointKDiscrimination(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := NewRunner(Options{Scale: 8000, Benchmarks: []string{"wupwise", "sixtrack"}})
+	wu, err := r.Analysis("wupwise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := r.Analysis("sixtrack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wupwise k=%d, sixtrack k=%d", wu.K, six.K)
+	if six.K < wu.K {
+		t.Errorf("sixtrack (k=%d) should need at least as many clusters as wupwise (k=%d)",
+			six.K, wu.K)
+	}
+}

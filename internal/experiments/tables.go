@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// Table1 renders the timing-simulator configuration (Table 1).
+func Table1(w io.Writer) error {
+	fmt.Fprintln(w, "Table 1. Timing simulator parameters")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, row := range timing.DefaultConfig().TableRows() {
+		fmt.Fprintf(tw, "%s\t%s\n", row[0], row[1])
+	}
+	return tw.Flush()
+}
+
+// Table2 renders the benchmark characteristics (Table 2): reference
+// input, executed instructions (paper billions and this run's scaled
+// count), and the number of simulation points SimPoint chose (paper vs
+// measured at max K=300).
+func Table2(r *Runner, w io.Writer) error {
+	fmt.Fprintf(w, "Table 2. Benchmark characteristics (scale 1/%d)\n", r.Options().Scale)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SPEC\tRef. input\t#Instr paper (G)\t#Instr scaled\t#SimPoints paper\t#SimPoints measured")
+	for _, bench := range r.Benchmarks() {
+		spec, err := workload.ByName(bench)
+		if err != nil {
+			return err
+		}
+		an, err := r.Analysis(bench)
+		if err != nil {
+			return err
+		}
+		base, err := r.Baseline(bench)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\n",
+			spec.Name, spec.RefInput, spec.PaperGInstr,
+			base.Instructions, spec.PaperSimPoints, len(an.Points))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,194 @@
+// Package hostcost models simulation host time.
+//
+// The paper's speed results are wall-clock ratios measured on a fixed
+// host (HP ProLiant Opteron blades): full-timing simulation of one SPEC
+// benchmark takes days, the VM alone takes minutes. This reproduction
+// runs scaled-down workloads on arbitrary hosts, so it accounts host
+// time with a deterministic cost model charging per-instruction costs by
+// execution mode, calibrated to the ratios the paper reports:
+//
+//   - Fast: full-speed VM execution (SimNow ≈ 150 MIPS) — the unit cost.
+//   - Event: VM generating instruction events for a consumer
+//     ("10x–20x slowdown with respect to full speed", Section 3.1).
+//   - BBVProfile: VM collecting basic-block vectors for SimPoint
+//     (SimPoint+prof lands at SMARTS-like speed, Section 5.1).
+//   - FuncWarm: SMARTS functional warming — events plus cache/branch
+//     predictor updates for every instruction.
+//   - DetailWarm / Timing: full detailed simulation (the paper's full
+//     timing run is ~3 orders of magnitude slower than the VM).
+//
+// With these constants the model reproduces the paper's anchors: SMARTS
+// ≈ 7.4x over full timing (0.97·65 + 0.03·600 ≈ 81 ≈ 600/7.4), SimPoint
+// +profiling ≈ 10x, and full timing of a 240 G-instruction benchmark ≈
+// 11 days (240e9 × 600 × 6.67 ns).
+//
+// Real wall-clock time is also measured by the benchmark harness as a
+// sanity check; the cost model is what the reproduced figures report,
+// because it is deterministic and scale-independent.
+package hostcost
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mode is the execution mode being charged.
+type Mode uint8
+
+const (
+	// Fast is full-speed VM execution (no event generation).
+	Fast Mode = iota
+	// Event is VM execution with instruction-event generation.
+	Event
+	// BBVProfile is VM execution with basic-block-vector collection.
+	BBVProfile
+	// FuncWarm is functional warming (events + cache/predictor update).
+	FuncWarm
+	// DetailWarm is detailed simulation used as warm-up (not measured).
+	DetailWarm
+	// Timing is detailed simulation with timing measurement.
+	Timing
+
+	numModes
+)
+
+// NumModes is the number of charged modes.
+const NumModes = int(numModes)
+
+var modeNames = [...]string{"fast", "event", "bbv", "funcwarm", "detailwarm", "timing"}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// CostTable holds per-instruction cost units by mode plus fixed
+// overheads. One unit is one fast-mode instruction.
+type CostTable struct {
+	PerInstr [NumModes]float64
+	// SwitchOverhead is charged on every transition into event-
+	// generating or detailed mode (context switches in and out of the
+	// code cache, "several hundred cycles" per crossing, amortised).
+	SwitchOverhead float64
+	// RestoreOverhead is charged per checkpoint restore (SimPoint's
+	// simulation-point dispatch).
+	RestoreOverhead float64
+	// NsPerUnit converts units to modelled host nanoseconds: the fast
+	// VM runs at ~150 MIPS, i.e. 6.67 ns per instruction.
+	NsPerUnit float64
+}
+
+// DefaultCosts returns the calibrated cost table.
+func DefaultCosts() CostTable {
+	var t CostTable
+	t.PerInstr[Fast] = 1
+	t.PerInstr[Event] = 15
+	t.PerInstr[BBVProfile] = 62
+	t.PerInstr[FuncWarm] = 65
+	t.PerInstr[DetailWarm] = 600
+	t.PerInstr[Timing] = 600
+	t.SwitchOverhead = 2_000
+	t.RestoreOverhead = 1_000_000
+	t.NsPerUnit = 1e3 / 150.0
+	return t
+}
+
+// Meter accumulates modelled host time for one simulation run.
+type Meter struct {
+	table    CostTable
+	units    float64
+	byMode   [NumModes]float64
+	instrs   [NumModes]uint64
+	switches uint64
+	restores uint64
+}
+
+// NewMeter creates a meter with the given cost table.
+func NewMeter(table CostTable) *Meter { return &Meter{table: table} }
+
+// Charge accounts n instructions executed in mode.
+func (m *Meter) Charge(mode Mode, n uint64) {
+	u := m.table.PerInstr[mode] * float64(n)
+	m.units += u
+	m.byMode[mode] += u
+	m.instrs[mode] += n
+}
+
+// ChargeSwitch accounts one transition into an instrumented mode.
+func (m *Meter) ChargeSwitch() {
+	m.units += m.table.SwitchOverhead
+	m.switches++
+}
+
+// ChargeRestore accounts one checkpoint restore.
+func (m *Meter) ChargeRestore() {
+	m.units += m.table.RestoreOverhead
+	m.restores++
+}
+
+// ChargeUnits accounts raw host work (e.g. the SimPoint clustering tool).
+func (m *Meter) ChargeUnits(u float64) {
+	if u > 0 {
+		m.units += u
+	}
+}
+
+// Units returns total accumulated cost units.
+func (m *Meter) Units() float64 { return m.units }
+
+// Report summarises a meter.
+type Report struct {
+	Units    float64
+	ByMode   [NumModes]float64
+	Instrs   [NumModes]uint64
+	Switches uint64
+	Restores uint64
+	// Seconds is the modelled host time for the run as executed.
+	Seconds float64
+	// PaperSeconds extrapolates to the paper's unscaled workload
+	// (Seconds × scale).
+	PaperSeconds float64
+}
+
+// Report produces the summary, extrapolating by the workload scale
+// divisor.
+func (m *Meter) Report(scale int) Report {
+	secs := m.units * m.table.NsPerUnit * 1e-9
+	return Report{
+		Units:        m.units,
+		ByMode:       m.byMode,
+		Instrs:       m.instrs,
+		Switches:     m.switches,
+		Restores:     m.restores,
+		Seconds:      secs,
+		PaperSeconds: secs * float64(scale),
+	}
+}
+
+// TotalInstrs returns the total instructions charged across modes.
+func (r Report) TotalInstrs() uint64 {
+	var t uint64
+	for _, n := range r.Instrs {
+		t += n
+	}
+	return t
+}
+
+// FormatDuration renders modelled seconds humanely (e.g. "6.2 d",
+// "21 min", "43 s").
+func FormatDuration(seconds float64) string {
+	switch {
+	case seconds >= 86400:
+		return fmt.Sprintf("%.1f d", seconds/86400)
+	case seconds >= 3600:
+		return fmt.Sprintf("%.1f h", seconds/3600)
+	case seconds >= 60:
+		return fmt.Sprintf("%.1f min", seconds/60)
+	case seconds >= 1:
+		return fmt.Sprintf("%.1f s", seconds)
+	default:
+		return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond).String()
+	}
+}

@@ -1,0 +1,62 @@
+package isa
+
+import "fmt"
+
+// Binary encoding of one instruction into a 64-bit word:
+//
+//	bits  0..7   opcode
+//	bits  8..13  rd
+//	bits 14..19  rs1
+//	bits 20..25  rs2
+//	bits 26..31  reserved (must be zero)
+//	bits 32..63  imm (two's complement int32)
+//
+// Code is stored little-endian in guest memory at 8-byte granularity.
+
+const (
+	opShift  = 0
+	rdShift  = 8
+	rs1Shift = 14
+	rs2Shift = 20
+	immShift = 32
+
+	regMask = 0x3f
+)
+
+// Encode packs the instruction into its 64-bit memory representation.
+func Encode(i Inst) uint64 {
+	return uint64(i.Op)<<opShift |
+		uint64(i.Rd&regMask)<<rdShift |
+		uint64(i.Rs1&regMask)<<rs1Shift |
+		uint64(i.Rs2&regMask)<<rs2Shift |
+		uint64(uint32(i.Imm))<<immShift
+}
+
+// Decode unpacks a 64-bit memory word into an instruction. Undefined
+// opcodes decode to an Inst whose Op fails Valid(); the VM raises an
+// illegal-instruction condition for those.
+func Decode(w uint64) Inst {
+	return Inst{
+		Op:  Op(w >> opShift & 0xff),
+		Rd:  uint8(w >> rdShift & regMask),
+		Rs1: uint8(w >> rs1Shift & regMask),
+		Rs2: uint8(w >> rs2Shift & regMask),
+		Imm: int32(uint32(w >> immShift)),
+	}
+}
+
+// MustValid panics if the instruction is malformed. The assembler uses it
+// to reject bad programs at build time rather than at emulation time.
+func MustValid(i Inst) {
+	if !i.Op.Valid() {
+		panic(fmt.Sprintf("isa: invalid opcode %d", i.Op))
+	}
+	if i.Rd >= NumRegs || i.Rs1 >= NumRegs || i.Rs2 >= NumRegs {
+		panic(fmt.Sprintf("isa: register out of range in %v", i))
+	}
+	if i.Op.Class() == ClassBranch || i.Op == OpJmp || i.Op == OpJal {
+		if i.Imm%InstBytes != 0 {
+			panic(fmt.Sprintf("isa: misaligned control offset in %v", i))
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package mem implements the guest physical/virtual memory used by the
+// functional simulator.
+//
+// The guest address space is flat and demand-zero: pages are materialised
+// on first touch, and that first touch is reported to the VM as a minor
+// page fault (one of the "virtual memory page misses" the paper's EXC
+// metric counts). All guest accesses are 8-byte words — the ISA is a
+// 64-bit word machine — which keeps the hot load/store path to a shift,
+// an index, and a bounds check.
+package mem
+
+import "fmt"
+
+const (
+	// PageShift is log2 of the guest page size (4 KB, as in Table 1).
+	PageShift = 12
+	// PageBytes is the guest page size in bytes.
+	PageBytes = 1 << PageShift
+	// WordsPerPage is the number of 64-bit words in one page.
+	WordsPerPage = PageBytes / 8
+)
+
+// Page is the storage for one guest page.
+type Page [WordsPerPage]uint64
+
+// Memory is a demand-paged flat guest address space.
+type Memory struct {
+	pages     []*Page
+	spanBytes uint64
+	allocated int
+}
+
+// New creates a guest memory covering spanBytes of address space
+// (rounded up to a whole number of pages). No pages are allocated yet.
+func New(spanBytes uint64) *Memory {
+	npages := (spanBytes + PageBytes - 1) / PageBytes
+	return &Memory{
+		pages:     make([]*Page, npages),
+		spanBytes: npages * PageBytes,
+	}
+}
+
+// Span returns the size of the addressable space in bytes.
+func (m *Memory) Span() uint64 { return m.spanBytes }
+
+// AllocatedPages returns the number of pages materialised so far.
+func (m *Memory) AllocatedPages() int { return m.allocated }
+
+// VPN returns the virtual page number of an address.
+func VPN(addr uint64) uint64 { return addr >> PageShift }
+
+// Read64 loads the 64-bit word at addr (forced to 8-byte alignment).
+// faulted reports whether the access materialised a fresh page.
+func (m *Memory) Read64(addr uint64) (v uint64, faulted bool) {
+	vpn := addr >> PageShift
+	if vpn >= uint64(len(m.pages)) {
+		panic(fmt.Sprintf("mem: guest access out of range: %#x", addr))
+	}
+	p := m.pages[vpn]
+	if p == nil {
+		p = m.materialise(vpn)
+		faulted = true
+	}
+	return p[addr>>3&(WordsPerPage-1)], faulted
+}
+
+// Write64 stores a 64-bit word at addr (forced to 8-byte alignment).
+// faulted reports whether the access materialised a fresh page.
+func (m *Memory) Write64(addr, v uint64) (faulted bool) {
+	vpn := addr >> PageShift
+	if vpn >= uint64(len(m.pages)) {
+		panic(fmt.Sprintf("mem: guest access out of range: %#x", addr))
+	}
+	p := m.pages[vpn]
+	if p == nil {
+		p = m.materialise(vpn)
+		faulted = true
+	}
+	p[addr>>3&(WordsPerPage-1)] = v
+	return faulted
+}
+
+// Peek reads a word without materialising pages or reporting faults;
+// unmapped addresses read as zero. Used by debugging and device DMA
+// checks, never by the guest-visible access path.
+func (m *Memory) Peek(addr uint64) uint64 {
+	vpn := addr >> PageShift
+	if vpn >= uint64(len(m.pages)) || m.pages[vpn] == nil {
+		return 0
+	}
+	return m.pages[vpn][addr>>3&(WordsPerPage-1)]
+}
+
+// Populate writes a word, materialising the page silently (no fault
+// accounting). Program loading uses it so that the loader does not
+// perturb the guest's exception statistics.
+func (m *Memory) Populate(addr, v uint64) {
+	vpn := addr >> PageShift
+	if vpn >= uint64(len(m.pages)) {
+		panic(fmt.Sprintf("mem: populate out of range: %#x", addr))
+	}
+	if m.pages[vpn] == nil {
+		m.materialise(vpn)
+	}
+	m.pages[vpn][addr>>3&(WordsPerPage-1)] = v
+}
+
+// Mapped reports whether the page containing addr has been materialised.
+func (m *Memory) Mapped(addr uint64) bool {
+	vpn := addr >> PageShift
+	return vpn < uint64(len(m.pages)) && m.pages[vpn] != nil
+}
+
+func (m *Memory) materialise(vpn uint64) *Page {
+	p := new(Page)
+	m.pages[vpn] = p
+	m.allocated++
+	return p
+}
+
+// Snapshot captures a deep copy of the allocated pages.
+type Snapshot struct {
+	spanBytes uint64
+	pages     map[uint64]Page
+}
+
+// Snapshot returns a deep copy of the current memory contents.
+func (m *Memory) Snapshot() *Snapshot {
+	s := &Snapshot{spanBytes: m.spanBytes, pages: make(map[uint64]Page, m.allocated)}
+	for vpn, p := range m.pages {
+		if p != nil {
+			s.pages[uint64(vpn)] = *p
+		}
+	}
+	return s
+}
+
+// Restore replaces the memory contents with the snapshot. The memory must
+// have been created with the same span.
+func (m *Memory) Restore(s *Snapshot) error {
+	if s.spanBytes != m.spanBytes {
+		return fmt.Errorf("mem: snapshot span %d != memory span %d", s.spanBytes, m.spanBytes)
+	}
+	for i := range m.pages {
+		m.pages[i] = nil
+	}
+	m.allocated = 0
+	for vpn, pg := range s.pages {
+		p := m.materialise(vpn)
+		*p = pg
+	}
+	return nil
+}

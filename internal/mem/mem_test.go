@@ -1,0 +1,127 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(1 << 20)
+	f := func(addr uint64, v uint64) bool {
+		addr %= 1 << 20
+		m.Write64(addr, v)
+		got, _ := m.Read64(addr)
+		return got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandZeroAndFaultAccounting(t *testing.T) {
+	m := New(1 << 20)
+	v, faulted := m.Read64(0x3000)
+	if v != 0 || !faulted {
+		t.Fatalf("first read: v=%d faulted=%v, want 0,true", v, faulted)
+	}
+	if _, faulted := m.Read64(0x3008); faulted {
+		t.Fatal("second touch of same page must not fault")
+	}
+	if faulted := m.Write64(0x3010, 7); faulted {
+		t.Fatal("write to mapped page must not fault")
+	}
+	if faulted := m.Write64(0x5000, 7); !faulted {
+		t.Fatal("write to fresh page must fault")
+	}
+	if m.AllocatedPages() != 2 {
+		t.Fatalf("allocated pages = %d, want 2", m.AllocatedPages())
+	}
+}
+
+func TestAlignmentForced(t *testing.T) {
+	m := New(1 << 16)
+	m.Write64(0x107, 42) // forced to 0x100
+	if v, _ := m.Read64(0x100); v != 42 {
+		t.Fatalf("unaligned write not forced to word boundary: %d", v)
+	}
+}
+
+func TestPopulateIsSilent(t *testing.T) {
+	m := New(1 << 16)
+	m.Populate(0x2000, 99)
+	if !m.Mapped(0x2000) {
+		t.Fatal("populate must map the page")
+	}
+	if v, faulted := m.Read64(0x2000); v != 99 || faulted {
+		t.Fatalf("read after populate: v=%d faulted=%v", v, faulted)
+	}
+}
+
+func TestPeekNoSideEffects(t *testing.T) {
+	m := New(1 << 16)
+	if v := m.Peek(0x4000); v != 0 {
+		t.Fatalf("peek of unmapped = %d, want 0", v)
+	}
+	if m.Mapped(0x4000) {
+		t.Fatal("peek must not materialise pages")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(1 << 16)
+	for _, f := range []func(){
+		func() { m.Read64(1 << 20) },
+		func() { m.Write64(1<<20, 1) },
+		func() { m.Populate(1<<20, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := New(1 << 20)
+	m.Write64(0x1000, 1)
+	m.Write64(0x8000, 2)
+	snap := m.Snapshot()
+	m.Write64(0x1000, 99)
+	m.Write64(0xf000, 3)
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read64(0x1000); v != 1 {
+		t.Fatalf("restored value = %d, want 1", v)
+	}
+	if m.Mapped(0xf000) {
+		t.Fatal("page mapped after snapshot must be gone after restore")
+	}
+	if m.AllocatedPages() != 2 {
+		t.Fatalf("allocated after restore = %d, want 2", m.AllocatedPages())
+	}
+}
+
+func TestRestoreSpanMismatch(t *testing.T) {
+	a, b := New(1<<16), New(1<<20)
+	if err := b.Restore(a.Snapshot()); err == nil {
+		t.Fatal("restore with mismatched span must fail")
+	}
+}
+
+func TestVPN(t *testing.T) {
+	if VPN(0) != 0 || VPN(4095) != 0 || VPN(4096) != 1 || VPN(8192) != 2 {
+		t.Fatal("VPN arithmetic wrong")
+	}
+}
+
+func TestSpanRoundsUp(t *testing.T) {
+	m := New(PageBytes + 1)
+	if m.Span() != 2*PageBytes {
+		t.Fatalf("span = %d, want %d", m.Span(), 2*PageBytes)
+	}
+}

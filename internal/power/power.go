@@ -1,0 +1,217 @@
+// Package power estimates energy and power from the timing simulator's
+// activity counters — the third simulation dimension the paper's
+// introduction calls out ("power simulation has also become important
+// ... a functional simulation is in charge of providing events from CPU
+// and devices, to which we can apply a power model").
+//
+// The model is an activity-based (Wattch-style) formulation: each
+// retired instruction pays a per-class access energy, each cache/TLB
+// access and miss pays an array energy, mispredictions pay a recovery
+// energy, and a static power term integrates over cycles. The default
+// parameters are order-of-magnitude figures for a 90 nm core of the
+// paper's era; like the timing model, the value of the reproduction is
+// in *relative* comparisons, not absolute watts.
+package power
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/timing"
+)
+
+// Params are the energy model coefficients. Energies are picojoules.
+type Params struct {
+	// Per-instruction base energy by class.
+	PerClass [isa.NumClasses]float64
+	// Array access energies.
+	L1Access  float64
+	L2Access  float64
+	MemAccess float64
+	TLBAccess float64
+	// Misprediction recovery energy.
+	Mispredict float64
+	// Static (leakage + clock tree) power in watts.
+	StaticWatts float64
+	// Clock frequency, used to convert cycles to seconds.
+	FreqGHz float64
+}
+
+// DefaultParams returns coefficients resembling a ~2 GHz, 90 nm core.
+func DefaultParams() Params {
+	p := Params{
+		L1Access:    20,
+		L2Access:    120,
+		MemAccess:   2000,
+		TLBAccess:   8,
+		Mispredict:  300,
+		StaticWatts: 12,
+		FreqGHz:     2.0,
+	}
+	base := [isa.NumClasses]float64{}
+	base[isa.ClassNop] = 50
+	base[isa.ClassALU] = 100
+	base[isa.ClassMul] = 250
+	base[isa.ClassDiv] = 600
+	base[isa.ClassLoad] = 150
+	base[isa.ClassStore] = 150
+	base[isa.ClassBranch] = 120
+	base[isa.ClassJump] = 120
+	base[isa.ClassFP] = 350
+	base[isa.ClassFDiv] = 900
+	base[isa.ClassSys] = 500
+	base[isa.ClassHalt] = 50
+	p.PerClass = base
+	return p
+}
+
+// Estimate is an energy/power result.
+type Estimate struct {
+	// DynamicJ and StaticJ are the two energy components in joules.
+	DynamicJ float64
+	StaticJ  float64
+	// Seconds is the modelled execution time.
+	Seconds float64
+	// Instructions and Cycles cover the estimated span.
+	Instructions uint64
+	Cycles       uint64
+}
+
+// TotalJ returns total energy in joules.
+func (e Estimate) TotalJ() float64 { return e.DynamicJ + e.StaticJ }
+
+// AvgWatts returns average power.
+func (e Estimate) AvgWatts() float64 {
+	if e.Seconds == 0 {
+		return 0
+	}
+	return e.TotalJ() / e.Seconds
+}
+
+// EPI returns energy per instruction in nanojoules.
+func (e Estimate) EPI() float64 {
+	if e.Instructions == 0 {
+		return 0
+	}
+	return e.TotalJ() / float64(e.Instructions) * 1e9
+}
+
+// Meter tracks a timing core's activity and converts deltas to energy.
+type Meter struct {
+	params Params
+	core   *timing.Core
+	last   snapshot
+}
+
+type snapshot struct {
+	marker            timing.Marker
+	byClass           [isa.NumClasses]uint64
+	l1i, l1d, l2      cache.Stats
+	itlb, dtlb, l2tlb cache.Stats
+	mispredicts       uint64
+}
+
+// NewMeter attaches an energy meter to a core. The zero point is the
+// core's current state.
+func NewMeter(core *timing.Core, params Params) *Meter {
+	m := &Meter{params: params, core: core}
+	m.last = m.snap()
+	return m
+}
+
+func (m *Meter) snap() snapshot {
+	var s snapshot
+	s.marker = m.core.Marker()
+	s.byClass = m.core.ClassCounts()
+	s.l1i, s.l1d, s.l2 = m.core.CacheStats()
+	s.itlb, s.dtlb, s.l2tlb = m.core.TLBStats()
+	s.mispredicts = m.core.Mispredicts()
+	return s
+}
+
+// Sample returns the energy consumed since the previous Sample (or
+// since the meter was attached) and advances the zero point.
+func (m *Meter) Sample() Estimate {
+	cur := m.snap()
+	prev := m.last
+	m.last = cur
+
+	var est Estimate
+	est.Instructions = cur.marker.Instrs - prev.marker.Instrs
+	est.Cycles = cur.marker.Cycles - prev.marker.Cycles
+
+	var pj float64
+	for c := 0; c < isa.NumClasses; c++ {
+		pj += m.params.PerClass[c] * float64(cur.byClass[c]-prev.byClass[c])
+	}
+	l1 := (cur.l1i.Accesses() - prev.l1i.Accesses()) + (cur.l1d.Accesses() - prev.l1d.Accesses())
+	pj += m.params.L1Access * float64(l1)
+	pj += m.params.L2Access * float64(cur.l2.Accesses()-prev.l2.Accesses())
+	pj += m.params.MemAccess * float64(cur.l2.Misses-prev.l2.Misses)
+	tlb := (cur.itlb.Accesses() - prev.itlb.Accesses()) +
+		(cur.dtlb.Accesses() - prev.dtlb.Accesses()) +
+		(cur.l2tlb.Accesses() - prev.l2tlb.Accesses())
+	pj += m.params.TLBAccess * float64(tlb)
+	pj += m.params.Mispredict * float64(cur.mispredicts-prev.mispredicts)
+	est.DynamicJ = pj * 1e-12
+
+	est.Seconds = float64(est.Cycles) / (m.params.FreqGHz * 1e9)
+	est.StaticJ = m.params.StaticWatts * est.Seconds
+	return est
+}
+
+// Accumulator combines interval estimates into a whole-run figure with
+// the same extrapolation rule the IPC estimator uses: each sampled
+// interval's energy-per-instruction stands in for the functional gap
+// that follows it.
+type Accumulator struct {
+	totalJ   float64
+	cycles   float64
+	instrs   float64
+	lastEPI  float64 // joules per instruction
+	lastCPI  float64
+	havePrev bool
+	pending  float64
+}
+
+// Sample records a measured interval.
+func (a *Accumulator) Sample(e Estimate) {
+	if e.Instructions == 0 || e.Cycles == 0 {
+		return
+	}
+	epi := e.TotalJ() / float64(e.Instructions)
+	cpi := float64(e.Cycles) / float64(e.Instructions)
+	if !a.havePrev && a.pending > 0 {
+		a.totalJ += epi * a.pending
+		a.cycles += cpi * a.pending
+		a.instrs += a.pending
+		a.pending = 0
+	}
+	a.lastEPI, a.lastCPI, a.havePrev = epi, cpi, true
+	a.totalJ += e.TotalJ()
+	a.cycles += float64(e.Cycles)
+	a.instrs += float64(e.Instructions)
+}
+
+// Functional extrapolates over unmeasured instructions.
+func (a *Accumulator) Functional(instr uint64) {
+	if instr == 0 {
+		return
+	}
+	if a.havePrev {
+		a.totalJ += a.lastEPI * float64(instr)
+		a.cycles += a.lastCPI * float64(instr)
+		a.instrs += float64(instr)
+	} else {
+		a.pending += float64(instr)
+	}
+}
+
+// Estimate returns the whole-run figure.
+func (a *Accumulator) Estimate(freqGHz float64) Estimate {
+	return Estimate{
+		DynamicJ:     a.totalJ, // static already folded into interval totals
+		Seconds:      a.cycles / (freqGHz * 1e9),
+		Instructions: uint64(a.instrs),
+		Cycles:       uint64(a.cycles),
+	}
+}

@@ -1,0 +1,113 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/timing"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func runKernel(t *testing.T, kind workload.KernelKind, n uint64) *timing.Core {
+	t.Helper()
+	frag := workload.BuildFragment(kind, 0, workload.HotBase)
+	img := workload.BuildKernelImage(frag, 512, 16, 8)
+	m := vm.New(vm.Config{})
+	m.Load(img)
+	c := timing.NewCore(timing.DefaultConfig())
+	m.Run(n, c)
+	return c
+}
+
+func TestFreshMeterReadsZero(t *testing.T) {
+	c := runKernel(t, workload.KALU, 100_000)
+	meter := NewMeter(c, DefaultParams())
+	// Meter was attached after the run: nothing new yet.
+	if e := meter.Sample(); e.Instructions != 0 || e.TotalJ() != 0 {
+		t.Fatalf("fresh meter must read zero, got %+v", e)
+	}
+}
+
+func TestEnergyAccumulates(t *testing.T) {
+	frag := workload.BuildFragment(workload.KALU, 0, workload.HotBase)
+	img := workload.BuildKernelImage(frag, 512, 16, 8)
+	m := vm.New(vm.Config{})
+	m.Load(img)
+	c := timing.NewCore(timing.DefaultConfig())
+	meter := NewMeter(c, DefaultParams())
+	m.Run(50_000, c)
+	e := meter.Sample()
+	if e.Instructions != 50_000 {
+		t.Fatalf("instructions = %d", e.Instructions)
+	}
+	if e.DynamicJ <= 0 || e.StaticJ <= 0 || e.Seconds <= 0 {
+		t.Fatalf("estimate %+v", e)
+	}
+	if e.AvgWatts() < 1 || e.AvgWatts() > 500 {
+		t.Fatalf("implausible power %.1f W", e.AvgWatts())
+	}
+	// Second sample sees only the new work.
+	m.Run(50_000, c)
+	e2 := meter.Sample()
+	if e2.Instructions != 50_000 {
+		t.Fatalf("second sample %d", e2.Instructions)
+	}
+}
+
+// TestMemoryKernelCostsMoreEnergyPerInstruction: memory-bound code pays
+// DRAM access energy and long static integration per instruction.
+func TestMemoryKernelCostsMoreEPI(t *testing.T) {
+	aluM, vastM := meterOver(t, workload.KALU), meterOver(t, workload.KVast)
+	if vastM.EPI() <= aluM.EPI()*1.5 {
+		t.Fatalf("memory-bound EPI %.2f nJ should far exceed ALU %.2f nJ", vastM.EPI(), aluM.EPI())
+	}
+	// But its average power is lower (mostly waiting).
+	if vastM.AvgWatts() >= aluM.AvgWatts() {
+		t.Fatalf("memory-bound power %.1f W should be below ALU %.1f W",
+			vastM.AvgWatts(), aluM.AvgWatts())
+	}
+}
+
+func meterOver(t *testing.T, kind workload.KernelKind) Estimate {
+	t.Helper()
+	frag := workload.BuildFragment(kind, 0, workload.HotBase)
+	img := workload.BuildKernelImage(frag, 512, 16, 8)
+	m := vm.New(vm.Config{})
+	m.Load(img)
+	c := timing.NewCore(timing.DefaultConfig())
+	m.Run(50_000, c) // warm
+	meter := NewMeter(c, DefaultParams())
+	m.Run(100_000, c)
+	return meter.Sample()
+}
+
+func TestAccumulatorExtrapolation(t *testing.T) {
+	var a Accumulator
+	a.Functional(1000) // pending prefix
+	a.Sample(Estimate{DynamicJ: 1e-6, StaticJ: 1e-6, Instructions: 1000, Cycles: 2000, Seconds: 1e-6})
+	a.Functional(8000)
+	est := a.Estimate(2.0)
+	if est.Instructions != 10_000 {
+		t.Fatalf("instructions = %d", est.Instructions)
+	}
+	// EPI constant: total = 10x the sampled energy.
+	if got, want := est.TotalJ(), 10*2e-6; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("total = %v, want %v", got, want)
+	}
+	if est.Cycles != 20_000 {
+		t.Fatalf("cycles = %d", est.Cycles)
+	}
+}
+
+func TestZeroHandling(t *testing.T) {
+	var a Accumulator
+	a.Sample(Estimate{}) // ignored
+	a.Functional(0)      // ignored
+	if est := a.Estimate(2.0); est.TotalJ() != 0 || est.Instructions != 0 {
+		t.Fatalf("empty accumulator %+v", est)
+	}
+	var e Estimate
+	if e.AvgWatts() != 0 || e.EPI() != 0 {
+		t.Fatal("zero estimate helpers must not divide by zero")
+	}
+}

@@ -1,0 +1,69 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TestDebugTrace is a development aid: it dumps the full-timing interval
+// trace alongside Dynamic Sampling detections for one benchmark so the
+// correlation between VM statistics and IPC can be inspected.
+func TestDebugTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug trace is slow")
+	}
+	spec, _ := workload.ByName("gzip")
+	opts := core.Options{Scale: 2_000}
+
+	s := core.NewSession(spec, opts)
+	for _, ph := range s.Plan().Phases {
+		t.Logf("plan phase %2d %-10s trans=%-5s start-int=%d ws=%d",
+			ph.ID, ph.Kernel, ph.Transition, ph.StartApprox/s.IntervalLen(), ph.WSWords)
+	}
+	ft := FullTiming{TraceIntervals: 1 << 20}
+	base, err := ft.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Print a decimated trace with phase-relevant activity.
+	for i, tr := range base.Trace {
+		if i%50 == 0 || tr.TCInvalidations > 0 || tr.IOOps > 0 {
+			t.Logf("int %5d ipc=%.3f inv=%-3d exc=%-4d io=%d",
+				tr.Index, tr.IPC, tr.TCInvalidations, tr.Exceptions, tr.IOOps)
+		}
+		if i > 2000 {
+			break
+		}
+	}
+
+	s2 := core.NewSession(spec, opts)
+	ds := NewDynamic(vm.MetricCPU, 300, 1, 0)
+	ds.TraceSamples = true
+	res, err := ds.Run(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("DS CPU: est=%.4f base=%.4f err=%.2f%% samples=%d detections=%v",
+		res.EstIPC, base.EstIPC, res.ErrorVs(base)*100, res.Samples, res.Detections)
+	// Compare each sample against the average full-timing IPC until the
+	// next sample (what the sample is extrapolated over).
+	for i, tr := range res.Trace {
+		end := uint64(len(base.Trace))
+		if i+1 < len(res.Trace) {
+			end = res.Trace[i+1].Index
+		}
+		var avg float64
+		var n int
+		for j := tr.Index; j < end && j < uint64(len(base.Trace)); j++ {
+			avg += base.Trace[j].IPC
+			n++
+		}
+		if n > 0 {
+			avg /= float64(n)
+		}
+		t.Logf("sample@%-5d ipc=%.3f  region-avg=%.3f  span=%d", tr.Index, tr.IPC, avg, n)
+	}
+}

@@ -1,0 +1,175 @@
+package sampling
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// Dynamic implements the paper's contribution: Dynamic Sampling
+// (Algorithm 1). The VM runs at full speed; at the end of every interval
+// the policy inspects one of the VM's *internal* statistics — code-cache
+// invalidations (CPU), exceptions (EXC), or I/O operations (I/O) — and
+// when the relative change between successive intervals exceeds the
+// sensitivity threshold it declares a phase change and activates full
+// timing simulation for the next interval. A cap on consecutive
+// functional intervals (max_func) guarantees a minimum sampling rate
+// regardless of phase behaviour.
+//
+// Unlike SMARTS and SimPoint, no per-instruction information is needed
+// while timing is off, so the VM keeps its translation cache and block
+// chaining fully enabled — this is what makes the technique compatible
+// with fast virtual machines.
+type Dynamic struct {
+	// Metric is the monitored VM statistic (Algorithm 1's "var").
+	Metric vm.Metric
+	// ExtraMetrics adds further monitored variables: a phase change is
+	// declared when ANY monitored variable exceeds the sensitivity.
+	// The paper's results section observes that "it is very important
+	// to identify the right variable(s) to monitor" — combining the
+	// clean code-cache signal with the I/O signal covers transitions
+	// either one alone misses.
+	ExtraMetrics []vm.Metric
+	// SensitivityPct is the phase-change threshold S as a percentage:
+	// a phase change is declared when |Δvar| / max(prev,1) * 100 > S.
+	SensitivityPct float64
+	// IntervalMul scales the session's base interval (the paper's 1M,
+	// 10M, 100M instruction intervals are IntervalMul 1, 10, 100).
+	IntervalMul uint64
+	// MaxFunc is the maximum number of consecutive functional intervals
+	// before a measurement is forced; 0 means unlimited (∞).
+	MaxFunc int
+	// WarmIntervals is the detailed warm-up before each measurement in
+	// base intervals (the paper uses 1M instructions = 1).
+	WarmIntervals int
+	// SettleIntervals is the number of full-speed functional intervals
+	// inserted between a detection and the warm-up. At the paper's
+	// scale a phase's start transient is a vanishing fraction of the 1M
+	// warm-up; at reduced scale the transient spans whole intervals, so
+	// one cheap functional interval keeps the measurement out of it
+	// without the cost of more detailed warming.
+	SettleIntervals int
+	// TraceSamples records each measurement in Result.Trace (index is
+	// the interval at which the sample was taken).
+	TraceSamples bool
+}
+
+// NewDynamic returns the paper's standard configuration for a monitored
+// metric: sensitivity in percent, interval multiplier, and max_func
+// (0 = ∞). Warm-up defaults to one base interval.
+func NewDynamic(metric vm.Metric, sensitivityPct float64, intervalMul uint64, maxFunc int) Dynamic {
+	return Dynamic{
+		Metric:          metric,
+		SensitivityPct:  sensitivityPct,
+		IntervalMul:     intervalMul,
+		MaxFunc:         maxFunc,
+		WarmIntervals:   1,
+		SettleIntervals: 1,
+	}
+}
+
+// Name implements Policy, using the paper's "VAR-S-LEN-MAXF" naming
+// (e.g. "CPU-300-1M-∞").
+func (p Dynamic) Name() string {
+	lenName := map[uint64]string{1: "1M", 10: "10M", 100: "100M"}[p.IntervalMul]
+	if lenName == "" {
+		lenName = fmt.Sprintf("%dx", p.IntervalMul)
+	}
+	maxf := "∞"
+	if p.MaxFunc > 0 {
+		maxf = fmt.Sprintf("%d", p.MaxFunc)
+	}
+	vars := p.Metric.String()
+	for _, m := range p.ExtraMetrics {
+		vars += "+" + m.String()
+	}
+	return fmt.Sprintf("%s-%.0f-%s-%s", vars, p.SensitivityPct, lenName, maxf)
+}
+
+// Run implements Policy (the paper's Algorithm 1).
+func (p Dynamic) Run(s *core.Session) (Result, error) {
+	if p.IntervalMul == 0 {
+		p.IntervalMul = 1
+	}
+	interval := s.IntervalLen() * p.IntervalMul
+	warmLen := s.IntervalLen() * uint64(p.WarmIntervals)
+
+	var est Estimator
+	res := Result{Policy: p.Name(), Bench: s.Spec().Name}
+
+	metrics := append([]vm.Metric{p.Metric}, p.ExtraMetrics...)
+	timing := false
+	numFunc := 0
+	havePrev := false
+	prevVals := make([]uint64, len(metrics))
+	prevStats := s.Machine().Stats()
+	var idx uint64
+
+	for !s.Done() {
+		if timing {
+			// Warm-up precedes each measurement ("each simulation
+			// interval is preceded by a warming period", Section 3.3).
+			if p.SettleIntervals > 0 {
+				est.Functional(s.RunFast(s.IntervalLen() * uint64(p.SettleIntervals)))
+			}
+			est.Functional(s.RunDetailWarm(warmLen))
+			ipc, ex := s.RunTimed(interval)
+			if ex == 0 {
+				break
+			}
+			est.Sample(ipc, ex)
+			res.Samples++
+			if p.TraceSamples {
+				res.Trace = append(res.Trace, IntervalTrace{Index: idx, IPC: ipc})
+			}
+			timing = false
+			numFunc = 0
+		} else {
+			ex := s.RunFast(interval)
+			est.Functional(ex)
+			if ex == 0 {
+				break
+			}
+		}
+
+		// Inspect the monitored variable(s) at the end of the interval.
+		delta, now := s.StatsDelta(prevStats)
+		prevStats = now
+		if havePrev {
+			triggered := false
+			for i, m := range metrics {
+				v := delta.Value(m)
+				diff := int64(v) - int64(prevVals[i])
+				if diff < 0 {
+					diff = -diff
+				}
+				den := prevVals[i]
+				if den == 0 {
+					den = 1
+				}
+				if float64(diff)/float64(den)*100 > p.SensitivityPct {
+					triggered = true
+				}
+			}
+			if triggered {
+				timing = true
+				res.Detections = append(res.Detections, idx)
+			} else {
+				numFunc++
+				if p.MaxFunc > 0 && numFunc >= p.MaxFunc {
+					timing = true
+				}
+			}
+		}
+		for i, m := range metrics {
+			prevVals[i] = delta.Value(m)
+		}
+		havePrev = true
+		idx++
+	}
+	res.EstIPC = est.IPC()
+	res.Instructions = s.Executed()
+	res.Cost = s.Meter().Report(s.Scale())
+	return res, nil
+}

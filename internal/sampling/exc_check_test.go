@@ -1,0 +1,40 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TestEXCInferiority reproduces the paper's qualitative finding that
+// EXC is an inferior monitoring variable: on a benchmark with steady
+// maintenance activity, EXC-monitored sampling is both slower (spurious
+// triggers) and less accurate (samples correlated with maintenance
+// bursts) than CPU-monitored sampling.
+func TestEXCInferiority(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	spec, _ := workload.ByName("crafty")
+	opts := core.Options{Scale: 8000}
+
+	run := func(p Policy) Result {
+		s := core.NewSession(spec, opts)
+		res, err := p.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(FullTiming{})
+	cpu := run(NewDynamic(vm.MetricCPU, 300, 1, 0))
+	exc := run(NewDynamic(vm.MetricEXC, 300, 1, 0))
+	t.Logf("CPU err=%.2f%% speedup=%.0fx samples=%d", cpu.ErrorVs(base)*100, cpu.Speedup(base), cpu.Samples)
+	t.Logf("EXC err=%.2f%% speedup=%.0fx samples=%d", exc.ErrorVs(base)*100, exc.Speedup(base), exc.Samples)
+	if exc.Speedup(base) >= cpu.Speedup(base) {
+		t.Errorf("EXC should be slower than CPU (spurious triggers): %.0fx vs %.0fx",
+			exc.Speedup(base), cpu.Speedup(base))
+	}
+}

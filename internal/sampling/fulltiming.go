@@ -1,0 +1,49 @@
+package sampling
+
+import (
+	"repro/internal/core"
+)
+
+// FullTiming simulates every interval in full detail: the accuracy and
+// speed baseline every other policy is measured against.
+type FullTiming struct {
+	// TraceIntervals, when non-zero, records per-interval IPC and VM
+	// statistic deltas for the first N intervals (Figures 2 and 4).
+	TraceIntervals int
+}
+
+// Name implements Policy.
+func (FullTiming) Name() string { return "Full timing" }
+
+// Run implements Policy.
+func (p FullTiming) Run(s *core.Session) (Result, error) {
+	var est Estimator
+	res := Result{Policy: p.Name(), Bench: s.Spec().Name}
+	interval := s.IntervalLen()
+	prev := s.Machine().Stats()
+	var idx uint64
+	for !s.Done() {
+		ipc, ex := s.RunTimed(interval)
+		if ex == 0 {
+			break
+		}
+		est.Sample(ipc, ex)
+		res.Samples++
+		if int(idx) < p.TraceIntervals {
+			delta, now := s.StatsDelta(prev)
+			prev = now
+			res.Trace = append(res.Trace, IntervalTrace{
+				Index:           idx,
+				IPC:             ipc,
+				TCInvalidations: delta.TCInvalidations,
+				Exceptions:      delta.Exceptions,
+				IOOps:           delta.IOOps,
+			})
+		}
+		idx++
+	}
+	res.EstIPC = est.IPC()
+	res.Instructions = s.Executed()
+	res.Cost = s.Meter().Report(s.Scale())
+	return res, nil
+}

@@ -1,0 +1,45 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestCombinedMetricsName(t *testing.T) {
+	p := NewDynamic(vm.MetricCPU, 300, 1, 0)
+	p.ExtraMetrics = []vm.Metric{vm.MetricIO}
+	if got := p.Name(); got != "CPU+I/O-300-1M-∞" {
+		t.Fatalf("Name() = %q", got)
+	}
+}
+
+// TestCombinedMetricsSupersetDetections: monitoring CPU+I/O must detect
+// at least as many phase changes as CPU alone, and the estimate must
+// stay close to the baseline.
+func TestCombinedMetricsSupersetDetections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	base, err := FullTiming{}.Run(sessionFor(t, "swim", 20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuOnly, err := NewDynamic(vm.MetricCPU, 300, 1, 0).Run(sessionFor(t, "swim", 20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := NewDynamic(vm.MetricCPU, 300, 1, 0)
+	combined.ExtraMetrics = []vm.Metric{vm.MetricIO}
+	both, err := combined.Run(sessionFor(t, "swim", 20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Samples < cpuOnly.Samples {
+		t.Fatalf("combined monitor sampled less (%d) than CPU alone (%d)",
+			both.Samples, cpuOnly.Samples)
+	}
+	if e := both.ErrorVs(base); e > 0.15 {
+		t.Fatalf("combined monitor error %.1f%%", e*100)
+	}
+}

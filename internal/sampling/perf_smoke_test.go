@@ -1,0 +1,44 @@
+package sampling
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TestPolicyShapeSmoke runs each policy family on one benchmark at small
+// scale and reports error/speedup so the accuracy/speed shape can be
+// eyeballed during development.
+func TestPolicyShapeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape smoke is slow")
+	}
+	spec, _ := workload.ByName("gzip")
+	opts := core.Options{Scale: 2_000}
+
+	run := func(p Policy) Result {
+		t.Helper()
+		start := time.Now()
+		s := core.NewSession(spec, opts)
+		res, err := p.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		t.Logf("%-16s ipc=%.4f samples=%-5d cost=%.3g wall=%v",
+			res.Policy, res.EstIPC, res.Samples, res.Cost.Units, time.Since(start).Round(time.Millisecond))
+		return res
+	}
+
+	base := run(FullTiming{})
+	smarts := run(DefaultSMARTS(spec.ScaledInstr(opts.Scale)))
+	dsCPU := run(NewDynamic(vm.MetricCPU, 300, 1, 0))
+	dsIO := run(NewDynamic(vm.MetricIO, 100, 1, 0))
+	dsEXC := run(NewDynamic(vm.MetricEXC, 300, 1, 10))
+
+	for _, r := range []Result{smarts, dsCPU, dsIO, dsEXC} {
+		t.Logf("%-16s err=%.2f%% speedup=%.1fx", r.Policy, r.ErrorVs(base)*100, r.Speedup(base))
+	}
+}

@@ -1,0 +1,159 @@
+// Package sampling implements the sampling policies the paper compares:
+// full timing simulation, SMARTS systematic sampling with functional
+// warming, and the paper's contribution, Dynamic Sampling (Algorithm 1).
+// SimPoint lives in internal/simpoint (it needs the clustering stack)
+// but satisfies the same Policy interface.
+//
+// A policy schedules a Session's execution modes over the benchmark's
+// instruction budget and produces a Result: an IPC estimate plus the
+// modelled host cost of obtaining it.
+package sampling
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hostcost"
+)
+
+// Policy is one sampling strategy.
+type Policy interface {
+	// Name returns the policy's display name (paper terminology, e.g.
+	// "SMARTS" or "CPU-300-1M-10").
+	Name() string
+	// Run drives the session from start to budget exhaustion and
+	// returns the measurement.
+	Run(s *core.Session) (Result, error)
+}
+
+// IntervalTrace records one base interval of a traced run (used for the
+// paper's Figures 2 and 4).
+type IntervalTrace struct {
+	Index uint64
+	IPC   float64
+	// Monitored VM statistic deltas for the interval.
+	TCInvalidations uint64
+	Exceptions      uint64
+	IOOps           uint64
+}
+
+// Result is the outcome of running a policy on a session.
+type Result struct {
+	Policy string
+	Bench  string
+
+	// EstIPC is the policy's IPC estimate (instruction-weighted, à la
+	// SimPoint, as the paper computes it).
+	EstIPC float64
+
+	// Instructions is the number of guest instructions the benchmark
+	// executed (budget or natural completion).
+	Instructions uint64
+
+	// Samples is the number of timing measurements taken.
+	Samples int
+
+	// CIHalfWidthPct is the relative half-width (percent) of the
+	// 99.7% confidence interval on the CPI estimate, for policies with
+	// a statistical sampling design (SMARTS); zero otherwise.
+	CIHalfWidthPct float64
+
+	// Detections records the interval indices at which Dynamic
+	// Sampling detected a phase change (empty for other policies).
+	Detections []uint64
+
+	// Trace holds per-interval records when tracing was requested.
+	Trace []IntervalTrace
+
+	// Cost is the modelled host cost report.
+	Cost hostcost.Report
+}
+
+// Speedup returns how much faster this run was than a full-timing
+// baseline cost.
+func (r Result) Speedup(baseline Result) float64 {
+	if r.Cost.Units == 0 {
+		return 0
+	}
+	return baseline.Cost.Units / r.Cost.Units
+}
+
+// ErrorVs returns the relative IPC error against a baseline (fraction,
+// not percent).
+func (r Result) ErrorVs(baseline Result) float64 {
+	if baseline.EstIPC == 0 {
+		return 0
+	}
+	e := r.EstIPC/baseline.EstIPC - 1
+	if e < 0 {
+		e = -e
+	}
+	return e
+}
+
+// Estimator accumulates the cumulative IPC: each timing sample's IPC is
+// extrapolated over the functional phase that follows it ("we weight the
+// average IPC of the last timing phase with the duration of the current
+// functional simulation phase, à la SimPoint"). Functional execution
+// before the first sample is attributed to the first sample.
+//
+// The accumulation is done in cycle space — the estimator reconstructs
+// total execution cycles and reports instructions/cycles — so that the
+// estimate is consistent regardless of measurement granularity. (A plain
+// instruction-weighted arithmetic mean of interval IPCs is biased upward
+// for policies with short sampling units, because the arithmetic mean of
+// sub-interval IPCs exceeds the IPC of the combined interval whenever
+// IPC varies within it.)
+type Estimator struct {
+	instrs  float64
+	cycles  float64
+	last    float64
+	hasLast bool
+	pending float64
+}
+
+// Sample records a timing measurement of ipc over instr instructions.
+func (e *Estimator) Sample(ipc float64, instr uint64) {
+	if instr == 0 || ipc <= 0 {
+		return
+	}
+	if !e.hasLast && e.pending > 0 {
+		e.instrs += e.pending
+		e.cycles += e.pending / ipc
+		e.pending = 0
+	}
+	e.last = ipc
+	e.hasLast = true
+	e.instrs += float64(instr)
+	e.cycles += float64(instr) / ipc
+}
+
+// Functional records instr instructions executed without timing; their
+// cycles are extrapolated from the last sample's IPC.
+func (e *Estimator) Functional(instr uint64) {
+	if instr == 0 {
+		return
+	}
+	if e.hasLast {
+		e.instrs += float64(instr)
+		e.cycles += float64(instr) / e.last
+	} else {
+		e.pending += float64(instr)
+	}
+}
+
+// IPC returns the cumulative estimate.
+func (e *Estimator) IPC() float64 {
+	if e.cycles == 0 {
+		return 0
+	}
+	return e.instrs / e.cycles
+}
+
+// Weight returns the total attributed instruction weight.
+func (e *Estimator) Weight() float64 { return e.instrs + e.pending }
+
+// errPolicy wraps policy construction errors discovered at Run time.
+func errPolicy(name, format string, args ...interface{}) error {
+	return fmt.Errorf("sampling: %s: %s", name, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,41 @@
+package simpoint
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestBICLadder inspects the BIC curve over candidate k values on a real
+// profiled benchmark — a development aid for the k-selection rule.
+func TestBICLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	spec, _ := workload.ByName("gzip")
+	s := core.NewSession(spec, core.Options{Scale: 8000})
+	p := New(false)
+	prof := NewProfiler(p.Dim, p.Seed)
+	for !s.Done() {
+		if s.RunProfile(s.IntervalLen(), prof) == 0 {
+			break
+		}
+		prof.EndInterval()
+	}
+	vectors := prof.Vectors()
+	t.Logf("vectors: %d", len(vectors))
+	sub := vectors
+	if len(sub) > 1500 {
+		stride := len(sub) / 1500
+		var ss [][]float64
+		for i := 0; i < len(vectors); i += stride {
+			ss = append(ss, vectors[i])
+		}
+		sub = ss
+	}
+	for k := 1; k <= 256; k *= 2 {
+		r := KMeans(sub, k, 8, p.Seed+uint64(k))
+		t.Logf("k=%3d wcss=%10.6f bic=%12.1f", k, r.WCSS, r.BIC)
+	}
+}

@@ -1,0 +1,266 @@
+package simpoint
+
+import (
+	"math"
+)
+
+// KMeansResult is the outcome of one clustering run.
+type KMeansResult struct {
+	K         int
+	Centroids [][]float64
+	Assign    []int
+	Sizes     []int
+	WCSS      float64 // within-cluster sum of squared distances
+	BIC       float64
+}
+
+// kmRNG is a small deterministic generator for seeding k-means++.
+type kmRNG struct{ s uint64 }
+
+func (r *kmRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *kmRNG) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// KMeans clusters vectors into k groups with k-means++ seeding and at
+// most iters Lloyd iterations. It is deterministic in seed. Empty
+// clusters are repaired by re-seeding them with the point farthest from
+// its centroid.
+func KMeans(vectors [][]float64, k, iters int, seed uint64) KMeansResult {
+	n := len(vectors)
+	if n == 0 {
+		return KMeansResult{K: 0}
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	dim := len(vectors[0])
+	rng := &kmRNG{s: seed}
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := int(rng.next() % uint64(n))
+	centroids = append(centroids, append([]float64(nil), vectors[first]...))
+	minDist := make([]float64, n)
+	for i, v := range vectors {
+		minDist[i] = DistanceSq(v, centroids[0])
+	}
+	for len(centroids) < k {
+		var sum float64
+		for _, d := range minDist {
+			sum += d
+		}
+		var next int
+		if sum <= 0 {
+			next = int(rng.next() % uint64(n))
+		} else {
+			target := rng.float() * sum
+			for i, d := range minDist {
+				target -= d
+				if target <= 0 {
+					next = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), vectors[next]...))
+		c := centroids[len(centroids)-1]
+		for i, v := range vectors {
+			if d := DistanceSq(v, c); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+
+	var wcss float64
+	for it := 0; it < iters; it++ {
+		// Assignment step.
+		changed := false
+		wcss = 0
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := DistanceSq(v, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || it == 0 {
+				changed = true
+			}
+			assign[i] = best
+			wcss += bestD
+		}
+		// Update step.
+		for c := range sums {
+			sizes[c] = 0
+			for d := range sums[c] {
+				sums[c][d] = 0
+			}
+		}
+		for i, v := range vectors {
+			c := assign[i]
+			sizes[c]++
+			for d, x := range v {
+				sums[c][d] += x
+			}
+		}
+		for c := range centroids {
+			if sizes[c] == 0 {
+				// Repair: re-seed on the globally farthest point.
+				far, farD := 0, -1.0
+				for i, v := range vectors {
+					if d := DistanceSq(v, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], vectors[far])
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			for d := range centroids[c] {
+				centroids[c][d] = sums[c][d] * inv
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+
+	// Final assignment/WCSS against the last centroids.
+	wcss = 0
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	for i, v := range vectors {
+		best, bestD := 0, math.Inf(1)
+		for c, cen := range centroids {
+			if d := DistanceSq(v, cen); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		sizes[best]++
+		wcss += bestD
+	}
+
+	res := KMeansResult{
+		K:         k,
+		Centroids: centroids,
+		Assign:    assign,
+		Sizes:     sizes,
+		WCSS:      wcss,
+	}
+	res.BIC = bic(res, n, dim)
+	return res
+}
+
+// DefaultNoiseVar is the per-dimension variance floor used in BIC
+// scoring. Projected per-interval BBVs carry irreducible finite-sample
+// noise (interval boundaries cut basic blocks, maintenance episodes land
+// at random offsets); without a floor, BIC rewards splitting that noise
+// into ever-smaller clusters and the k selection runs away to the
+// maximum. The floor makes the BIC curve knee at the workload's true
+// behaviour count.
+const DefaultNoiseVar = 2e-3
+
+// bic computes the Bayesian Information Criterion for a spherical-
+// Gaussian mixture fit (the X-means/SimPoint formulation). Larger is
+// better.
+func bic(r KMeansResult, n, dim int) float64 { return bicFloor(r, n, dim, DefaultNoiseVar) }
+
+func bicFloor(r KMeansResult, n, dim int, floor float64) float64 {
+	if n <= r.K {
+		return math.Inf(-1)
+	}
+	variance := r.WCSS / float64(n-r.K)
+	if variance < floor {
+		variance = floor
+	}
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	var ll float64
+	for _, nj := range r.Sizes {
+		if nj == 0 {
+			continue
+		}
+		fnj := float64(nj)
+		ll += -fnj/2*math.Log(2*math.Pi) -
+			fnj*float64(dim)/2*math.Log(variance) -
+			(fnj-1)/2 +
+			fnj*math.Log(fnj/float64(n))
+	}
+	params := float64(r.K) * float64(dim+1)
+	return ll - params/2*math.Log(float64(n))
+}
+
+// ChooseK runs k-means over a geometric ladder of candidate k values up
+// to maxK and returns the clustering of the smallest k whose BIC reaches
+// at least threshold of the observed BIC range (SimPoint 3.2's
+// selection rule; Hamerly et al. recommend 0.9).
+func ChooseK(vectors [][]float64, maxK, iters int, threshold float64, seed uint64) KMeansResult {
+	n := len(vectors)
+	if n == 0 {
+		return KMeansResult{}
+	}
+	if maxK > n {
+		maxK = n
+	}
+	if maxK < 1 {
+		maxK = 1
+	}
+	if threshold <= 0 || threshold > 1 {
+		threshold = 0.9
+	}
+	// Candidate ladder: roughly geometric with intermediate points, so
+	// the selected k discriminates between workloads with different
+	// phase-population sizes.
+	var ks []int
+	last := 0
+	for _, k := range []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256} {
+		if k >= maxK {
+			break
+		}
+		ks = append(ks, k)
+		last = k
+	}
+	if last != maxK {
+		ks = append(ks, maxK)
+	}
+
+	results := make([]KMeansResult, len(ks))
+	best, worst := math.Inf(-1), math.Inf(1)
+	for i, k := range ks {
+		results[i] = KMeans(vectors, k, iters, seed+uint64(k))
+		if b := results[i].BIC; !math.IsInf(b, 0) {
+			if b > best {
+				best = b
+			}
+			if b < worst {
+				worst = b
+			}
+		}
+	}
+	cut := worst + threshold*(best-worst)
+	for _, r := range results {
+		if r.BIC >= cut {
+			return r
+		}
+	}
+	return results[len(results)-1]
+}

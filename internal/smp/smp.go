@@ -1,0 +1,283 @@
+// Package smp simulates a multi-core system: several guests, each with
+// its own VM and out-of-order core, sharing the L2 cache — the
+// "complete multi-core, multi-socket system" the paper's conclusions
+// point to as the destination for VM-coupled timing simulation.
+//
+// The model is a consolidation (multiprogrammed) scenario: independent
+// guest programs time-share nothing but contend for shared L2 capacity.
+// Guests are interleaved round-robin in fixed instruction quanta, so
+// their cache footprints interleave in the shared L2 the way
+// co-scheduled workloads' footprints do. Simplifications (documented
+// here, tested in smp_test.go): no cache coherence (guests share no
+// memory), no shared-port arbitration, and per-core cycle domains.
+//
+// System-level Dynamic Sampling works exactly as in the single-core
+// case, monitoring the *sum* of the guests' VM statistics: a phase
+// change in any guest triggers a timed interval on every core, which is
+// what a shared back-end has to do anyway since the cores' behaviour is
+// coupled through the shared cache.
+package smp
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/sampling"
+	"repro/internal/timing"
+	"repro/internal/vm"
+)
+
+// Config parameterises the system.
+type Config struct {
+	// Quantum is the round-robin scheduling quantum in instructions
+	// (default 10000). Smaller quanta interleave the shared-L2
+	// footprints more finely.
+	Quantum uint64
+	// Timing is the per-core configuration (its L2 geometry defines
+	// the shared L2).
+	Timing timing.Config
+	// VM is the per-guest VM configuration.
+	VM vm.Config
+}
+
+func (c *Config) setDefaults() {
+	if c.Quantum == 0 {
+		c.Quantum = 10_000
+	}
+	if c.Timing.Width == 0 {
+		c.Timing = timing.DefaultConfig()
+	}
+}
+
+// Guest is one core+VM pair.
+type Guest struct {
+	Name    string
+	Machine *vm.Machine
+	Core    *timing.Core
+
+	executed uint64
+	budget   uint64
+}
+
+// Executed returns the guest's retired instruction count.
+func (g *Guest) Executed() uint64 { return g.executed }
+
+// Done reports whether the guest reached its budget or halted.
+func (g *Guest) Done() bool {
+	return g.executed >= g.budget || g.Machine.Halted()
+}
+
+// System is a set of guests sharing an L2.
+type System struct {
+	cfg      Config
+	sharedL2 *cache.Cache
+	guests   []*Guest
+}
+
+// New creates an empty system.
+func New(cfg Config) *System {
+	cfg.setDefaults()
+	return &System{
+		cfg:      cfg,
+		sharedL2: cache.New(cfg.Timing.L2),
+	}
+}
+
+// SharedL2 exposes the shared cache (for statistics).
+func (s *System) SharedL2() *cache.Cache { return s.sharedL2 }
+
+// Guests returns the attached guests.
+func (s *System) Guests() []*Guest { return s.guests }
+
+// AddGuest attaches a guest running the image with an instruction
+// budget.
+func (s *System) AddGuest(name string, img *asm.Image, budget uint64) *Guest {
+	m := vm.New(s.cfg.VM)
+	m.Load(img)
+	coreCfg := s.cfg.Timing
+	coreCfg.SharedL2 = s.sharedL2
+	g := &Guest{
+		Name:    name,
+		Machine: m,
+		Core:    timing.NewCore(coreCfg),
+		budget:  budget,
+	}
+	s.guests = append(s.guests, g)
+	return g
+}
+
+// Done reports whether every guest finished.
+func (s *System) Done() bool {
+	for _, g := range s.guests {
+		if !g.Done() {
+			return false
+		}
+	}
+	return len(s.guests) > 0
+}
+
+// run advances every unfinished guest by up to n instructions in
+// round-robin quanta. mode selects the per-guest sink: nil for fast
+// mode, the guest's core for timed mode.
+func (s *System) run(n uint64, timed bool) {
+	remaining := make([]uint64, len(s.guests))
+	for i, g := range s.guests {
+		r := n
+		if g.budget-g.executed < r {
+			r = g.budget - g.executed
+		}
+		remaining[i] = r
+	}
+	for {
+		progress := false
+		for i, g := range s.guests {
+			if remaining[i] == 0 || g.Machine.Halted() {
+				continue
+			}
+			q := s.cfg.Quantum
+			if q > remaining[i] {
+				q = remaining[i]
+			}
+			var sink vm.Sink
+			if timed {
+				sink = g.Core
+			}
+			ex := g.Machine.Run(q, sink)
+			g.executed += ex
+			remaining[i] -= ex
+			if ex > 0 {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// RunFast advances every guest by up to n instructions at full VM speed.
+func (s *System) RunFast(n uint64) { s.run(n, false) }
+
+// RunTimed advances every guest by up to n instructions in detail and
+// returns each guest's IPC over the interval.
+func (s *System) RunTimed(n uint64) []float64 {
+	marks := make([]timing.Marker, len(s.guests))
+	for i, g := range s.guests {
+		marks[i] = g.Core.Marker()
+	}
+	s.run(n, true)
+	ipcs := make([]float64, len(s.guests))
+	for i, g := range s.guests {
+		ipcs[i] = timing.IPC(marks[i], g.Core.Marker())
+	}
+	return ipcs
+}
+
+// statsSum returns the sum of the guests' monitored statistic.
+func (s *System) statsSum(m vm.Metric) uint64 {
+	var v uint64
+	for _, g := range s.guests {
+		v += g.Machine.Stats().Value(m)
+	}
+	return v
+}
+
+// Estimate is one guest's sampled result.
+type Estimate struct {
+	Name    string
+	IPC     float64
+	Samples int
+}
+
+// DynamicSample runs system-level Dynamic Sampling: every guest
+// executes interval-sized chunks; the monitored variable is the sum of
+// the guests' VM statistics; on a detection, the next interval is
+// simulated in detail on every core (after one settle and one warm
+// interval, as in the single-core policy).
+func (s *System) DynamicSample(metric vm.Metric, sensitivityPct float64, interval uint64, maxFunc int) ([]Estimate, error) {
+	if len(s.guests) == 0 {
+		return nil, fmt.Errorf("smp: no guests attached")
+	}
+	if interval == 0 {
+		return nil, fmt.Errorf("smp: zero interval")
+	}
+	ests := make([]sampling.Estimator, len(s.guests))
+	samples := 0
+
+	timed := false
+	numFunc := 0
+	havePrev := false
+	var prevVal, prevSum uint64
+
+	for !s.Done() {
+		var executed []uint64
+		before := make([]uint64, len(s.guests))
+		for i, g := range s.guests {
+			before[i] = g.executed
+		}
+		if timed {
+			s.RunFast(interval)   // settle
+			s.run(interval, true) // detailed warm (not recorded)
+			mid := make([]uint64, len(s.guests))
+			for i, g := range s.guests {
+				mid[i] = g.executed
+			}
+			ipcs := s.RunTimed(interval)
+			executed = make([]uint64, len(s.guests))
+			for i, g := range s.guests {
+				warmAndSettle := mid[i] - before[i]
+				ests[i].Functional(warmAndSettle)
+				ests[i].Sample(ipcs[i], g.executed-mid[i])
+				executed[i] = g.executed - before[i]
+			}
+			samples++
+			timed = false
+			numFunc = 0
+		} else {
+			s.RunFast(interval)
+			executed = make([]uint64, len(s.guests))
+			for i, g := range s.guests {
+				executed[i] = g.executed - before[i]
+				ests[i].Functional(executed[i])
+			}
+		}
+		var total uint64
+		for _, e := range executed {
+			total += e
+		}
+		if total == 0 {
+			break
+		}
+
+		sum := s.statsSum(metric)
+		v := sum - prevSum
+		prevSum = sum
+		if havePrev {
+			diff := int64(v) - int64(prevVal)
+			if diff < 0 {
+				diff = -diff
+			}
+			den := prevVal
+			if den == 0 {
+				den = 1
+			}
+			if float64(diff)/float64(den)*100 > sensitivityPct {
+				timed = true
+			} else {
+				numFunc++
+				if maxFunc > 0 && numFunc >= maxFunc {
+					timed = true
+				}
+			}
+		}
+		prevVal = v
+		havePrev = true
+	}
+
+	out := make([]Estimate, len(s.guests))
+	for i, g := range s.guests {
+		out[i] = Estimate{Name: g.Name, IPC: ests[i].IPC(), Samples: samples}
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TestColdStartBias quantifies, per kernel archetype, how far a sample
+// taken after a long timing-off gap (cold core, one warm interval) falls
+// from the continuously-timed steady state. Dynamic Sampling's accuracy
+// depends on this bias being small.
+func TestColdStartBias(t *testing.T) {
+	const interval = 3500
+	for kind := workload.KernelKind(0); int(kind) < workload.NumKernelKinds; kind++ {
+		frag := workload.BuildFragment(kind, 0, workload.HotBase)
+		// Working-set sizes as the generator caps them (see
+		// workload.makeBehaviors): sequential streams 256 words,
+		// random-access kernels 512.
+		ws := uint64(512)
+		if kind == workload.KStream {
+			ws = 256
+		}
+		// Episodes are effectively disabled (mask 16 bits): this test
+		// isolates the kernel-intrinsic cold-start bias; episode
+		// contamination is a separate, randomly-placed effect.
+		img := workload.BuildKernelImage(frag, ws, 16, 8)
+
+		// Continuous timing: warm up long, then measure.
+		m1 := vm.New(vm.Config{})
+		m1.Load(img)
+		c1 := NewCore(DefaultConfig())
+		m1.Run(20*interval, c1)
+		st := c1.Marker()
+		m1.Run(interval, c1)
+		steady := IPC(st, c1.Marker())
+
+		// Sampled: run fast (no events), then one warm + one timed.
+		m2 := vm.New(vm.Config{})
+		m2.Load(img)
+		c2 := NewCore(DefaultConfig())
+		m2.Run(20*interval, nil)
+		m2.Run(interval, c2) // detailed warm
+		st2 := c2.Marker()
+		m2.Run(interval, c2)
+		sampled := IPC(st2, c2.Marker())
+
+		bias := (sampled/steady - 1) * 100
+		t.Logf("%-8s steady=%.3f sampled=%.3f bias=%+.1f%%", kind, steady, sampled, bias)
+		if bias < -25 || bias > 25 {
+			t.Errorf("%s: cold-start bias %.1f%% too large", kind, bias)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TestPhaseDrift measures how interval IPC evolves within one
+// continuously-timed kernel phase. Dynamic Sampling measures phases at
+// their start, so sustained drift turns directly into estimation error.
+func TestPhaseDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	const interval = 4000
+	for _, kind := range []workload.KernelKind{workload.KBranchy, workload.KChase, workload.KL2, workload.KVast, workload.KMix} {
+		frag := workload.BuildFragment(kind, 0, workload.HotBase)
+		ws := uint64(256)
+		if kind == workload.KL2 {
+			ws = 512
+		}
+		if kind == workload.KVast {
+			ws = 1024
+		}
+		img := workload.BuildKernelImage(frag, ws, 11, 500)
+		m := vm.New(vm.Config{})
+		m.Load(img)
+		c := NewCore(DefaultConfig())
+		var ipcs []float64
+		for i := 0; i < 100; i++ {
+			st := c.Marker()
+			m.Run(interval, c)
+			ipcs = append(ipcs, IPC(st, c.Marker()))
+		}
+		t.Logf("%-8s first5=%.3f %.3f %.3f %.3f %.3f mid=%.3f %.3f last=%.3f %.3f",
+			kind, ipcs[0], ipcs[1], ipcs[2], ipcs[3], ipcs[4],
+			ipcs[48], ipcs[52], ipcs[97], ipcs[98])
+	}
+}

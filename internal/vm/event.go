@@ -1,0 +1,62 @@
+package vm
+
+import "repro/internal/isa"
+
+// Event describes one retired guest instruction. Events are only
+// produced in event-generating mode (Run with a non-nil Sink); in fast
+// mode the VM executes the identical architectural state transitions
+// without materialising events, which is where its speed comes from.
+//
+// The Event layout mirrors what the paper's modified SimNow delivers to
+// PTLsim: program counter, operation class, register operands, the
+// effective address of memory operations, and resolved control flow.
+type Event struct {
+	PC      uint64
+	NextPC  uint64 // architecturally resolved next PC
+	MemAddr uint64 // effective address for loads/stores
+	Target  uint64 // branch/jump destination when taken
+	Op      isa.Op
+	Class   isa.Class
+	Rd      uint8
+	Rs1     uint8
+	Rs2     uint8
+	Taken   bool // conditional branches: outcome
+}
+
+// Sink consumes the instruction event stream. Implementations include
+// the timing simulator front-end (full detail), the functional-warming
+// adaptor (caches and predictors only), and the BBV profiler.
+//
+// The event pointer is only valid for the duration of the call; sinks
+// must copy anything they keep.
+type Sink interface {
+	OnEvent(ev *Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(ev *Event)
+
+// OnEvent calls f(ev).
+func (f SinkFunc) OnEvent(ev *Event) { f(ev) }
+
+// MultiSink fans events out to several sinks in order.
+type MultiSink []Sink
+
+// OnEvent delivers ev to each sink.
+func (ms MultiSink) OnEvent(ev *Event) {
+	for _, s := range ms {
+		s.OnEvent(ev)
+	}
+}
+
+// CountingSink counts events by class; useful in tests.
+type CountingSink struct {
+	Total   uint64
+	ByClass [isa.NumClasses]uint64
+}
+
+// OnEvent records the event.
+func (c *CountingSink) OnEvent(ev *Event) {
+	c.Total++
+	c.ByClass[ev.Class]++
+}

@@ -1,0 +1,70 @@
+package vm
+
+import (
+	"repro/internal/device"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Snapshot is a restorable copy of the complete machine state. The
+// translation cache is intentionally not captured: like a real DBT, the
+// VM retranslates after a restore (the paper's methodology restores an
+// idle-machine snapshot before each benchmark run).
+type Snapshot struct {
+	regs     [isa.NumRegs]uint64
+	pc       uint64
+	halted   bool
+	exitCode uint64
+	stats    Stats
+	mem      *mem.Snapshot
+	tlb      []uint64
+	console  *device.Console
+	disk     *device.Block
+	phaseLog []PhaseMark
+}
+
+// Snapshot captures the machine state.
+func (m *Machine) Snapshot() *Snapshot {
+	return &Snapshot{
+		regs:     m.regs,
+		pc:       m.pc,
+		halted:   m.halted,
+		exitCode: m.exitCode,
+		stats:    m.stats,
+		mem:      m.mem.Snapshot(),
+		tlb:      append([]uint64(nil), m.tlb...),
+		console:  m.console.Clone(),
+		disk:     m.disk.Clone(),
+		phaseLog: append([]PhaseMark(nil), m.phaseLog...),
+	}
+}
+
+// Restore rewinds the machine to the snapshot. The translation cache is
+// flushed (without counting invalidations — this is host-side machinery,
+// not guest behaviour).
+func (m *Machine) Restore(s *Snapshot) error {
+	if err := m.mem.Restore(s.mem); err != nil {
+		return err
+	}
+	m.regs = s.regs
+	m.pc = s.pc
+	m.halted = s.halted
+	m.exitCode = s.exitCode
+	m.stats = s.stats
+	copy(m.tlb, s.tlb)
+	m.console = s.console.Clone()
+	m.disk = s.disk.Clone()
+	m.phaseLog = append(m.phaseLog[:0], s.phaseLog...)
+
+	// Silent TC flush.
+	for _, b := range m.tc {
+		b.dead = true
+	}
+	m.tc = make(map[uint64]*block)
+	for vpn := range m.pageBlk {
+		m.codePages[vpn] = false
+	}
+	m.pageBlk = make(map[uint64][]*block)
+	m.tcCount = 0
+	return nil
+}

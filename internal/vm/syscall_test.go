@@ -1,0 +1,193 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func TestSysExit(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.Movi(10, 42)
+		b.Sys(isa.SysExit)
+		b.Nop()
+	})
+	m.RunToCompletion(0, nil)
+	if !m.Halted() || m.ExitCode() != 42 {
+		t.Fatalf("halted=%v code=%d", m.Halted(), m.ExitCode())
+	}
+}
+
+func TestSysConsoleOut(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.Movi(1, 0x2000)
+		b.Movi(2, int64(uint64(0x6f6c6c65_68))) // "hello" little-endian
+		b.St(2, 1, 0)
+		b.Movi(10, 0x2000)
+		b.Movi(11, 5)
+		b.Sys(isa.SysConsoleOut)
+		b.Halt()
+	})
+	run(t, m)
+	if got := string(m.Console().Tail()); got != "hello" {
+		t.Fatalf("console = %q", got)
+	}
+	st := m.Stats()
+	if st.IOOps != 1 || st.ConsoleBytes != 5 {
+		t.Fatalf("io=%d consoleBytes=%d", st.IOOps, st.ConsoleBytes)
+	}
+}
+
+func TestSysBlockReadWrite(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		// Read sector 3 to 0x4000, copy first word to 0x6000 area,
+		// write it back as sector 9, then re-read sector 9 to 0x8000.
+		b.Movi(10, 3)
+		b.Movi(11, 0x4000)
+		b.Movi(12, 1)
+		b.Sys(isa.SysBlockRead)
+		b.Movi(10, 9)
+		b.Movi(11, 0x4000)
+		b.Movi(12, 1)
+		b.Sys(isa.SysBlockWrite)
+		b.Movi(10, 9)
+		b.Movi(11, 0x8000)
+		b.Movi(12, 1)
+		b.Sys(isa.SysBlockRead)
+		b.Ld(1, 0, 0x4000)
+		b.Ld(2, 0, 0x8000)
+		b.Halt()
+	})
+	run(t, m)
+	if m.Reg(1) == 0 || m.Reg(1) != m.Reg(2) {
+		t.Fatalf("roundtrip mismatch: %#x vs %#x", m.Reg(1), m.Reg(2))
+	}
+	st := m.Stats()
+	if st.DiskReads != 2 || st.DiskWrites != 1 || st.IOOps != 3 {
+		t.Fatalf("disk reads=%d writes=%d io=%d", st.DiskReads, st.DiskWrites, st.IOOps)
+	}
+	if st.Syscalls != 3 || st.Exceptions < 3 {
+		t.Fatalf("syscalls=%d exceptions=%d", st.Syscalls, st.Exceptions)
+	}
+}
+
+func TestSysPhaseMark(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.Movi(10, 7)
+		b.Sys(isa.SysPhaseMark)
+		b.Movi(10, 8)
+		b.Sys(isa.SysPhaseMark)
+		b.Halt()
+	})
+	run(t, m)
+	log := m.PhaseLog()
+	if len(log) != 2 || log[0].Value != 7 || log[1].Value != 8 {
+		t.Fatalf("phase log %+v", log)
+	}
+	if log[0].Instr >= log[1].Instr {
+		t.Fatal("phase marks must carry increasing instruction counts")
+	}
+	// Phase marks must not count as I/O (they are diagnostics).
+	if m.Stats().IOOps != 0 {
+		t.Fatal("phase marks must not count as I/O operations")
+	}
+}
+
+func TestSysTimeQuery(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.Nop()
+		b.Nop()
+		b.Sys(isa.SysTimeQuery)
+		b.Halt()
+	})
+	run(t, m)
+	if m.Reg(10) != 2 {
+		t.Fatalf("time query = %d, want 2 (instructions retired before the syscall)", m.Reg(10))
+	}
+}
+
+func TestUnknownSyscallPanics(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.Sys(99)
+		b.Halt()
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown syscall must panic")
+		}
+	}()
+	m.RunToCompletion(0, nil)
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.Movi(1, 100)
+		b.Movi(5, 0x9000)
+		b.Label("loop")
+		b.St(1, 5, 0)
+		b.I(isa.OpAddi, 5, 5, 8)
+		b.I(isa.OpAddi, 1, 1, -1)
+		b.Br(isa.OpBne, 1, 0, "loop")
+		b.Movi(10, 0)
+		b.Sys(isa.SysExit)
+	})
+	m.Run(150, nil)
+	snap := m.Snapshot()
+	midPC, midR1, midStats := m.PC(), m.Reg(1), m.Stats()
+
+	// Run to completion, then rewind.
+	m.RunToCompletion(0, nil)
+	if !m.Halted() {
+		t.Fatal("did not halt")
+	}
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m.PC() != midPC || m.Reg(1) != midR1 || m.Halted() {
+		t.Fatal("restore did not rewind CPU state")
+	}
+	if m.Stats() != midStats {
+		t.Fatal("restore did not rewind statistics")
+	}
+	// Re-run: must reach the same final state.
+	m.RunToCompletion(0, nil)
+	if !m.Halted() || m.Reg(1) != 0 {
+		t.Fatal("re-run after restore diverged")
+	}
+}
+
+func TestSnapshotDeterminism(t *testing.T) {
+	mk := func() *Machine {
+		return buildAndLoad(t, func(b *asm.Builder) {
+			b.Movi(1, 50)
+			b.Label("l")
+			b.Movi(10, 1)
+			b.Movi(11, 0x2000)
+			b.Movi(12, 1)
+			b.Sys(isa.SysBlockRead)
+			b.I(isa.OpAddi, 1, 1, -1)
+			b.Br(isa.OpBne, 1, 0, "l")
+			b.Halt()
+		})
+	}
+	a, b := mk(), mk()
+	a.Run(100, nil)
+	snap := a.Snapshot()
+	a.Restore(snap)
+	a.RunToCompletion(0, nil)
+	b.RunToCompletion(0, nil)
+	// Translation-cache statistics are host-side bookkeeping and may
+	// legitimately differ across a restore (the TC is flushed and
+	// resuming mid-block retranslates); everything guest-visible must
+	// be identical.
+	sa, sb := a.Stats(), b.Stats()
+	sa.TCTranslations, sb.TCTranslations = 0, 0
+	sa.TCInvalidations, sb.TCInvalidations = 0, 0
+	sa.TCFlushes, sb.TCFlushes = 0, 0
+	sa.TLBRefills, sb.TLBRefills = 0, 0
+	sa.Exceptions, sb.Exceptions = 0, 0
+	if sa != sb {
+		t.Fatalf("snapshot round-trip changed behaviour:\n%+v\n%+v", sa, sb)
+	}
+}

@@ -1,0 +1,514 @@
+// Package vm implements the functional full-system simulator — the
+// reproduction's stand-in for AMD's SimNow.
+//
+// Like a real dynamic-binary-translation VM it executes guest code
+// through a translation cache of decoded basic blocks with block
+// chaining, maintains a software TLB for guest virtual memory, services
+// guest exceptions (page faults, system calls) and device I/O, and keeps
+// the internal statistics the paper's Dynamic Sampling monitors: code
+// cache invalidations (CPU), exceptions (EXC), and I/O operations (I/O).
+//
+// The machine runs in two modes, selected per Run call:
+//
+//   - fast mode (nil Sink): no per-instruction observation; this is the
+//     near-native-speed mode a VM normally runs in.
+//   - event mode (non-nil Sink): every retired instruction is delivered
+//     to the sink (PC, class, memory address, branch outcome). This is
+//     the 10–20× slower mode required to feed a timing simulator, and
+//     the cost the paper's sampling schedule is designed to avoid.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/device"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Config parameterises the machine.
+type Config struct {
+	// MemSpan is the guest address-space size in bytes (default 1 GB).
+	MemSpan uint64
+	// TCMaxBlocks is the translation-cache capacity in basic blocks;
+	// exceeding it triggers a Dynamo-style full flush (default 32768).
+	TCMaxBlocks int
+	// TLBEntries is the software-TLB size; must be a power of two
+	// (default 1024).
+	TLBEntries int
+	// MaxBlockLen caps decoded basic-block length (default 64).
+	MaxBlockLen int
+	// DiskSeed seeds the block device's deterministic content.
+	DiskSeed uint64
+}
+
+func (c *Config) setDefaults() {
+	if c.MemSpan == 0 {
+		c.MemSpan = 1 << 30
+	}
+	if c.TCMaxBlocks == 0 {
+		c.TCMaxBlocks = 32768
+	}
+	if c.TLBEntries == 0 {
+		c.TLBEntries = 1024
+	}
+	if c.TLBEntries&(c.TLBEntries-1) != 0 {
+		panic("vm: TLBEntries must be a power of two")
+	}
+	if c.MaxBlockLen == 0 {
+		c.MaxBlockLen = 64
+	}
+}
+
+// block is one translation-cache entry: a decoded basic block.
+type block struct {
+	pc    uint64
+	insts []isa.Inst
+	dead  bool
+	// 1-entry chain: the dominant successor, looked up without touching
+	// the translation-cache map (block chaining / linking).
+	chainPC  uint64
+	chainBlk *block
+}
+
+// PhaseMark is a guest-reported phase annotation (SysPhaseMark), used by
+// the experiment harness as ground truth when analysing phase detection.
+type PhaseMark struct {
+	Instr uint64 // instruction count at the mark
+	Value uint64 // guest-supplied phase identifier
+}
+
+// Machine is one guest system: CPU state, memory, devices, translation
+// cache, software TLB, and statistics.
+type Machine struct {
+	cfg Config
+
+	regs   [isa.NumRegs]uint64
+	pc     uint64
+	halted bool
+
+	mem     *mem.Memory
+	console *device.Console
+	disk    *device.Block
+
+	// Translation cache.
+	tc        map[uint64]*block
+	tcCount   int
+	pageBlk   map[uint64][]*block // vpn -> blocks with code on that page
+	codePages []bool              // vpn -> page holds translated code
+
+	// Software TLB: direct-mapped, stores vpn+1 (0 = invalid).
+	tlb     []uint64
+	tlbMask uint64
+
+	stats    Stats
+	phaseLog []PhaseMark
+	exitCode uint64
+	secBuf   [device.SectorWords]uint64
+
+	// timeSource, when set, supplies the guest-visible time base for
+	// SysTimeQuery — the paper's timing-feedback path: when a timing
+	// simulator is attached, guest time advances with *modelled cycles*
+	// instead of the functional mode's fixed-IPC instruction count, so
+	// timing-dependent guest behaviour (spin loops, protocol timeouts)
+	// responds to the simulated microarchitecture.
+	timeSource func() uint64
+}
+
+// maxPhaseLog bounds the retained phase-mark log.
+const maxPhaseLog = 1 << 20
+
+// New creates a machine with the given configuration.
+func New(cfg Config) *Machine {
+	cfg.setDefaults()
+	m := &Machine{
+		cfg:     cfg,
+		mem:     mem.New(cfg.MemSpan),
+		console: &device.Console{},
+		disk:    device.NewBlock(cfg.DiskSeed),
+		tc:      make(map[uint64]*block),
+		pageBlk: make(map[uint64][]*block),
+		tlb:     make([]uint64, cfg.TLBEntries),
+		tlbMask: uint64(cfg.TLBEntries - 1),
+	}
+	m.codePages = make([]bool, cfg.MemSpan>>mem.PageShift)
+	return m
+}
+
+// Load populates guest memory from an image and sets the entry point.
+// Loading does not perturb guest statistics.
+func (m *Machine) Load(img *asm.Image) {
+	for _, seg := range img.Segments {
+		for i, w := range seg.Words {
+			m.mem.Populate(seg.Base+uint64(i)*8, w)
+		}
+	}
+	m.pc = img.Entry
+	m.halted = false
+}
+
+// Stats returns a copy of the machine's cumulative internal statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint64 { return m.pc }
+
+// Reg returns the value of register r.
+func (m *Machine) Reg(r int) uint64 { return m.regs[r] }
+
+// SetReg sets register r (r0 writes are discarded). Tests and loaders
+// use it; guest code cannot observe the difference from a MOVI.
+func (m *Machine) SetReg(r int, v uint64) {
+	if r != isa.RegZero {
+		m.regs[r] = v
+	}
+}
+
+// Halted reports whether the guest has executed HALT or SysExit.
+func (m *Machine) Halted() bool { return m.halted }
+
+// ExitCode returns the guest's SysExit argument (0 for HALT).
+func (m *Machine) ExitCode() uint64 { return m.exitCode }
+
+// Console returns the console device.
+func (m *Machine) Console() *device.Console { return m.console }
+
+// Disk returns the block device.
+func (m *Machine) Disk() *device.Block { return m.disk }
+
+// PhaseLog returns guest-reported phase marks.
+func (m *Machine) PhaseLog() []PhaseMark { return m.phaseLog }
+
+// Mem exposes the guest memory (read-mostly; used by tests and the
+// experiment harness).
+func (m *Machine) Mem() *mem.Memory { return m.mem }
+
+// SetTimeSource installs the guest time base used by SysTimeQuery (nil
+// restores the default fixed-IPC model, i.e. retired instructions).
+func (m *Machine) SetTimeSource(f func() uint64) { m.timeSource = f }
+
+// tlbLookup performs a software-TLB access for vpn, counting a refill
+// (an EXC-visible event) on miss.
+func (m *Machine) tlbLookup(vpn uint64) {
+	idx := vpn & m.tlbMask
+	if m.tlb[idx] != vpn+1 {
+		m.tlb[idx] = vpn + 1
+		m.stats.TLBRefills++
+		m.stats.Exceptions++
+	}
+}
+
+// translate decodes a basic block starting at pc and installs it in the
+// translation cache.
+func (m *Machine) translate(pc uint64) *block {
+	if m.tcCount >= m.cfg.TCMaxBlocks {
+		m.flushTC()
+	}
+	m.tlbLookup(pc >> mem.PageShift) // instruction-side translation
+	b := &block{pc: pc}
+	addr := pc
+	pageEnd := (pc &^ (mem.PageBytes - 1)) + mem.PageBytes
+	for len(b.insts) < m.cfg.MaxBlockLen && addr < pageEnd {
+		w := m.mem.Peek(addr)
+		in := isa.Decode(w)
+		if !in.Op.Valid() {
+			panic(fmt.Sprintf("vm: illegal instruction %#x at pc=%#x", w, addr))
+		}
+		b.insts = append(b.insts, in)
+		addr += isa.InstBytes
+		if in.Op.EndsBlock() {
+			break
+		}
+	}
+	if len(b.insts) == 0 {
+		panic(fmt.Sprintf("vm: empty translation at pc=%#x", pc))
+	}
+	m.tc[pc] = b
+	m.tcCount++
+	m.stats.TCTranslations++
+	// Register the block on every page it covers (at most two).
+	first := pc >> mem.PageShift
+	last := (addr - 1) >> mem.PageShift
+	for vpn := first; vpn <= last; vpn++ {
+		m.pageBlk[vpn] = append(m.pageBlk[vpn], b)
+		m.codePages[vpn] = true
+	}
+	return b
+}
+
+// lookup returns the live translation for pc, translating on miss.
+func (m *Machine) lookup(pc uint64) *block {
+	if b, ok := m.tc[pc]; ok && !b.dead {
+		return b
+	}
+	return m.translate(pc)
+}
+
+// invalidatePage drops every translation overlapping the page (the
+// self-modifying-code path). Each dropped block increments the CPU
+// metric, as in the paper.
+func (m *Machine) invalidatePage(vpn uint64) {
+	blocks := m.pageBlk[vpn]
+	for _, b := range blocks {
+		if !b.dead {
+			b.dead = true
+			delete(m.tc, b.pc)
+			m.tcCount--
+			m.stats.TCInvalidations++
+		}
+	}
+	delete(m.pageBlk, vpn)
+	m.codePages[vpn] = false
+}
+
+// flushTC performs a Dynamo-style full translation-cache flush.
+func (m *Machine) flushTC() {
+	m.stats.TCFlushes++
+	m.stats.TCInvalidations += uint64(m.tcCount)
+	for _, b := range m.tc {
+		b.dead = true
+	}
+	m.tc = make(map[uint64]*block)
+	for vpn := range m.pageBlk {
+		m.codePages[vpn] = false
+	}
+	m.pageBlk = make(map[uint64][]*block)
+	m.tcCount = 0
+}
+
+// TCBlocks returns the number of live translation-cache blocks.
+func (m *Machine) TCBlocks() int { return m.tcCount }
+
+// Run executes up to n guest instructions, stopping early on HALT or
+// SysExit. If sink is non-nil the machine runs in event-generating mode
+// and delivers one Event per retired instruction. Run returns the number
+// of instructions actually executed.
+//
+// Architectural behaviour is identical in both modes and independent of
+// how a long run is partitioned into Run calls; only translation-cache
+// and instruction-TLB bookkeeping may differ across partitionings
+// (resuming mid-block forces a fresh translation, as in a real DBT).
+func (m *Machine) Run(n uint64, sink Sink) uint64 {
+	if m.halted {
+		return 0
+	}
+	var executed uint64
+	var ev Event
+	var cur *block
+	for executed < n {
+		if cur == nil || cur.pc != m.pc || cur.dead {
+			cur = m.lookup(m.pc)
+		}
+		pc := cur.pc
+		insts := cur.insts
+		var next *block
+	blockLoop:
+		for i := range insts {
+			if executed == n {
+				m.pc = pc
+				return executed
+			}
+			in := &insts[i]
+			nextPC := pc + isa.InstBytes
+			var memAddr, target uint64
+			taken := false
+
+			switch in.Op {
+			case isa.OpNop:
+			case isa.OpHalt:
+				m.halted = true
+			case isa.OpAdd:
+				m.regs[in.Rd] = m.regs[in.Rs1] + m.regs[in.Rs2]
+			case isa.OpSub:
+				m.regs[in.Rd] = m.regs[in.Rs1] - m.regs[in.Rs2]
+			case isa.OpMul:
+				m.regs[in.Rd] = m.regs[in.Rs1] * m.regs[in.Rs2]
+			case isa.OpDiv:
+				if d := m.regs[in.Rs2]; d != 0 {
+					m.regs[in.Rd] = uint64(int64(m.regs[in.Rs1]) / int64(d))
+				} else {
+					m.regs[in.Rd] = 0
+				}
+			case isa.OpAnd:
+				m.regs[in.Rd] = m.regs[in.Rs1] & m.regs[in.Rs2]
+			case isa.OpOr:
+				m.regs[in.Rd] = m.regs[in.Rs1] | m.regs[in.Rs2]
+			case isa.OpXor:
+				m.regs[in.Rd] = m.regs[in.Rs1] ^ m.regs[in.Rs2]
+			case isa.OpSll:
+				m.regs[in.Rd] = m.regs[in.Rs1] << (m.regs[in.Rs2] & 63)
+			case isa.OpSrl:
+				m.regs[in.Rd] = m.regs[in.Rs1] >> (m.regs[in.Rs2] & 63)
+			case isa.OpSra:
+				m.regs[in.Rd] = uint64(int64(m.regs[in.Rs1]) >> (m.regs[in.Rs2] & 63))
+			case isa.OpSlt:
+				if int64(m.regs[in.Rs1]) < int64(m.regs[in.Rs2]) {
+					m.regs[in.Rd] = 1
+				} else {
+					m.regs[in.Rd] = 0
+				}
+			case isa.OpSltu:
+				if m.regs[in.Rs1] < m.regs[in.Rs2] {
+					m.regs[in.Rd] = 1
+				} else {
+					m.regs[in.Rd] = 0
+				}
+			case isa.OpAddi:
+				m.regs[in.Rd] = m.regs[in.Rs1] + uint64(int64(in.Imm))
+			case isa.OpAndi:
+				m.regs[in.Rd] = m.regs[in.Rs1] & uint64(int64(in.Imm))
+			case isa.OpOri:
+				m.regs[in.Rd] = m.regs[in.Rs1] | uint64(int64(in.Imm))
+			case isa.OpXori:
+				m.regs[in.Rd] = m.regs[in.Rs1] ^ uint64(int64(in.Imm))
+			case isa.OpSlli:
+				m.regs[in.Rd] = m.regs[in.Rs1] << (uint32(in.Imm) & 63)
+			case isa.OpSrli:
+				m.regs[in.Rd] = m.regs[in.Rs1] >> (uint32(in.Imm) & 63)
+			case isa.OpSrai:
+				m.regs[in.Rd] = uint64(int64(m.regs[in.Rs1]) >> (uint32(in.Imm) & 63))
+			case isa.OpSlti:
+				if int64(m.regs[in.Rs1]) < int64(in.Imm) {
+					m.regs[in.Rd] = 1
+				} else {
+					m.regs[in.Rd] = 0
+				}
+			case isa.OpMovi:
+				m.regs[in.Rd] = uint64(int64(in.Imm))
+			case isa.OpMovhi:
+				m.regs[in.Rd] |= uint64(uint32(in.Imm)) << 32
+			case isa.OpLd:
+				memAddr = (m.regs[in.Rs1] + uint64(int64(in.Imm))) &^ 7
+				m.tlbLookup(memAddr >> mem.PageShift)
+				v, faulted := m.mem.Read64(memAddr)
+				if faulted {
+					m.stats.PageFaults++
+					m.stats.Exceptions++
+				}
+				m.regs[in.Rd] = v
+				m.stats.MemReads++
+			case isa.OpSt:
+				memAddr = (m.regs[in.Rs1] + uint64(int64(in.Imm))) &^ 7
+				m.tlbLookup(memAddr >> mem.PageShift)
+				if m.mem.Write64(memAddr, m.regs[in.Rs2]) {
+					m.stats.PageFaults++
+					m.stats.Exceptions++
+				}
+				m.stats.MemWrites++
+				if vpn := memAddr >> mem.PageShift; m.codePages[vpn] {
+					m.invalidatePage(vpn)
+				}
+			case isa.OpBeq:
+				taken = m.regs[in.Rs1] == m.regs[in.Rs2]
+			case isa.OpBne:
+				taken = m.regs[in.Rs1] != m.regs[in.Rs2]
+			case isa.OpBlt:
+				taken = int64(m.regs[in.Rs1]) < int64(m.regs[in.Rs2])
+			case isa.OpBge:
+				taken = int64(m.regs[in.Rs1]) >= int64(m.regs[in.Rs2])
+			case isa.OpJmp:
+				target = pc + uint64(int64(in.Imm))
+				nextPC = target
+			case isa.OpJal:
+				m.regs[in.Rd] = nextPC
+				target = pc + uint64(int64(in.Imm))
+				nextPC = target
+			case isa.OpJalr:
+				t := (m.regs[in.Rs1] + uint64(int64(in.Imm))) &^ 7
+				m.regs[in.Rd] = nextPC
+				target = t
+				nextPC = t
+			case isa.OpFadd:
+				m.regs[in.Rd] = f2b(b2f(m.regs[in.Rs1]) + b2f(m.regs[in.Rs2]))
+			case isa.OpFsub:
+				m.regs[in.Rd] = f2b(b2f(m.regs[in.Rs1]) - b2f(m.regs[in.Rs2]))
+			case isa.OpFmul:
+				m.regs[in.Rd] = f2b(b2f(m.regs[in.Rs1]) * b2f(m.regs[in.Rs2]))
+			case isa.OpFdiv:
+				m.regs[in.Rd] = f2b(b2f(m.regs[in.Rs1]) / b2f(m.regs[in.Rs2]))
+			case isa.OpFcvtIF:
+				m.regs[in.Rd] = f2b(float64(int64(m.regs[in.Rs1])))
+			case isa.OpFcvtFI:
+				m.regs[in.Rd] = uint64(int64(b2f(m.regs[in.Rs1])))
+			case isa.OpSys:
+				m.syscall(in.Imm)
+			default:
+				panic(fmt.Sprintf("vm: unimplemented opcode %v at pc=%#x", in.Op, pc))
+			}
+			m.regs[isa.RegZero] = 0
+
+			cls := in.Op.Class()
+			if cls == isa.ClassBranch {
+				m.stats.Branches++
+				if taken {
+					m.stats.TakenBr++
+					target = pc + uint64(int64(in.Imm))
+					nextPC = target
+				}
+			}
+
+			executed++
+			m.stats.Instructions++
+
+			if sink != nil {
+				ev = Event{
+					PC: pc, NextPC: nextPC, MemAddr: memAddr, Target: target,
+					Op: in.Op, Class: cls,
+					Rd: in.Rd, Rs1: in.Rs1, Rs2: in.Rs2, Taken: taken,
+				}
+				sink.OnEvent(&ev)
+			}
+
+			if m.halted {
+				m.pc = pc
+				return executed
+			}
+			if nextPC != pc+isa.InstBytes || in.Op.EndsBlock() || cur.dead {
+				m.pc = nextPC
+				// Block chaining: remember the dominant successor.
+				if !cur.dead {
+					if cur.chainPC == nextPC && cur.chainBlk != nil && !cur.chainBlk.dead {
+						next = cur.chainBlk
+					} else {
+						next = m.lookup(nextPC)
+						cur.chainPC = nextPC
+						cur.chainBlk = next
+					}
+				}
+				break blockLoop
+			}
+			pc = nextPC
+		}
+		if next != nil {
+			cur = next
+		} else {
+			// Fell off the end of a length/page-limited block, or the
+			// block died under us.
+			if cur != nil && !cur.dead && len(insts) > 0 {
+				last := insts[len(insts)-1]
+				if !last.Op.EndsBlock() {
+					m.pc = cur.pc + uint64(len(insts))*isa.InstBytes
+				}
+			}
+			cur = nil
+		}
+	}
+	return executed
+}
+
+// RunToCompletion executes until the guest halts, in chunks.
+func (m *Machine) RunToCompletion(chunk uint64, sink Sink) uint64 {
+	if chunk == 0 {
+		chunk = 1 << 20
+	}
+	var total uint64
+	for !m.halted {
+		n := m.Run(chunk, sink)
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	return total
+}

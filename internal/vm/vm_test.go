@@ -1,0 +1,219 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// buildAndLoad assembles a program and loads it into a fresh machine.
+func buildAndLoad(t *testing.T, build func(b *asm.Builder)) *Machine {
+	t.Helper()
+	b := asm.NewBuilder(0x1000)
+	build(b)
+	img := &asm.Image{Entry: 0x1000}
+	img.AddSegment(0x1000, b.Words())
+	m := New(Config{MemSpan: 64 << 20})
+	m.Load(img)
+	return m
+}
+
+// run executes to completion and fails the test on runaway programs.
+func run(t *testing.T, m *Machine) {
+	t.Helper()
+	if n := m.RunToCompletion(1<<16, nil); n > 10<<20 {
+		t.Fatalf("program ran away: %d instructions", n)
+	}
+	if !m.Halted() {
+		t.Fatal("program did not halt")
+	}
+}
+
+func negU(v int64) uint64 { return uint64(-v) }
+
+func TestALUSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		op   isa.Op
+		a, b uint64
+		want uint64
+	}{
+		{"add", isa.OpAdd, 5, 7, 12},
+		{"add-wrap", isa.OpAdd, math.MaxUint64, 1, 0},
+		{"sub", isa.OpSub, 5, 7, uint64(^uint64(0) - 1)},
+		{"mul", isa.OpMul, 6, 7, 42},
+		{"div", isa.OpDiv, 42, 7, 6},
+		{"div-neg", isa.OpDiv, negU(42), 7, negU(6)},
+		{"div-zero", isa.OpDiv, 42, 0, 0},
+		{"and", isa.OpAnd, 0xf0, 0x3c, 0x30},
+		{"or", isa.OpOr, 0xf0, 0x0f, 0xff},
+		{"xor", isa.OpXor, 0xff, 0x0f, 0xf0},
+		{"sll", isa.OpSll, 1, 12, 4096},
+		{"sll-mask", isa.OpSll, 1, 64, 1}, // shift amount mod 64
+		{"srl", isa.OpSrl, 4096, 12, 1},
+		{"sra", isa.OpSra, negU(8), 2, negU(2)},
+		{"slt-true", isa.OpSlt, negU(1), 0, 1},
+		{"slt-false", isa.OpSlt, 0, negU(1), 0},
+		{"sltu-true", isa.OpSltu, 0, negU(1), 1},
+		{"sltu-false", isa.OpSltu, negU(1), 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := buildAndLoad(t, func(b *asm.Builder) {
+				b.R(c.op, 3, 1, 2)
+				b.Halt()
+			})
+			m.SetReg(1, c.a)
+			m.SetReg(2, c.b)
+			run(t, m)
+			if got := m.Reg(3); got != c.want {
+				t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+func TestImmediateSemantics(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.I(isa.OpAddi, 1, 0, -7)
+		b.I(isa.OpAndi, 2, 1, 0xff)
+		b.I(isa.OpOri, 3, 0, 0x10)
+		b.I(isa.OpXori, 4, 3, 0x11)
+		b.I(isa.OpSlli, 5, 3, 4)
+		b.I(isa.OpSrli, 6, 5, 2)
+		b.I(isa.OpSrai, 7, 1, 1)
+		b.I(isa.OpSlti, 8, 1, 0)
+		b.I(isa.OpMovi, 9, 0, 0x1234)
+		b.I(isa.OpMovhi, 9, 0, 0x7fff_0000)
+		b.Halt()
+	})
+	run(t, m)
+	checks := map[int]uint64{
+		1: negU(7),
+		2: 0xf9,
+		3: 0x10,
+		4: 0x01,
+		5: 0x100,
+		6: 0x40,
+		7: negU(4),
+		8: 1,
+		9: 0x7fff_0000_0000_1234,
+	}
+	for r, want := range checks {
+		if got := m.Reg(r); got != want {
+			t.Errorf("r%d = %#x, want %#x", r, got, want)
+		}
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.I(isa.OpMovi, 0, 0, 77)
+		b.R(isa.OpAdd, 1, 0, 0)
+		b.Halt()
+	})
+	run(t, m)
+	if m.Reg(0) != 0 || m.Reg(1) != 0 {
+		t.Fatalf("r0=%d r1=%d, want 0,0", m.Reg(0), m.Reg(1))
+	}
+}
+
+func TestLoadStoreAndCounts(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.Movi(1, 0x20_0000)
+		b.Movi(2, 1234)
+		b.St(2, 1, 8)
+		b.Ld(3, 1, 8)
+		b.Halt()
+	})
+	run(t, m)
+	if m.Reg(3) != 1234 {
+		t.Fatalf("loaded %d", m.Reg(3))
+	}
+	st := m.Stats()
+	if st.MemReads != 1 || st.MemWrites != 1 {
+		t.Fatalf("mem counts %d/%d", st.MemReads, st.MemWrites)
+	}
+	if st.PageFaults != 1 {
+		t.Fatalf("page faults = %d, want 1 (store touched a fresh page)", st.PageFaults)
+	}
+}
+
+func TestBranchesAndJumps(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.Movi(1, 5)
+		b.Movi(2, 0)
+		b.Label("loop")
+		b.I(isa.OpAddi, 2, 2, 3)
+		b.I(isa.OpAddi, 1, 1, -1)
+		b.Br(isa.OpBne, 1, 0, "loop")
+		b.Jal(30, "sub")
+		b.Jmp("end")
+		b.Label("sub")
+		b.I(isa.OpAddi, 2, 2, 100)
+		b.Jalr(0, 30, 0)
+		b.Label("end")
+		b.Halt()
+	})
+	run(t, m)
+	if m.Reg(2) != 115 {
+		t.Fatalf("r2 = %d, want 115", m.Reg(2))
+	}
+	st := m.Stats()
+	if st.Branches != 5 || st.TakenBr != 4 {
+		t.Fatalf("branches=%d taken=%d, want 5/4", st.Branches, st.TakenBr)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.Movi(1, 3)
+		b.Emit(isa.Inst{Op: isa.OpFcvtIF, Rd: 1, Rs1: 1}) // 3.0
+		b.Movi(2, 4)
+		b.Emit(isa.Inst{Op: isa.OpFcvtIF, Rd: 2, Rs1: 2}) // 4.0
+		b.R(isa.OpFmul, 3, 1, 2)                          // 12.0
+		b.R(isa.OpFadd, 3, 3, 1)                          // 15.0
+		b.R(isa.OpFsub, 3, 3, 2)                          // 11.0
+		b.R(isa.OpFdiv, 3, 3, 1)                          // 11/3
+		b.R(isa.OpFmul, 3, 3, 1)                          // 11.0
+		b.Emit(isa.Inst{Op: isa.OpFcvtFI, Rd: 4, Rs1: 3})
+		b.Halt()
+	})
+	run(t, m)
+	if m.Reg(4) != 11 {
+		t.Fatalf("fp result = %d, want 11", m.Reg(4))
+	}
+}
+
+func TestHaltStopsExactly(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.Nop()
+		b.Halt()
+		b.Nop() // never reached
+	})
+	n := m.Run(100, nil)
+	if n != 2 || !m.Halted() {
+		t.Fatalf("executed %d halted=%v", n, m.Halted())
+	}
+	if m.Run(10, nil) != 0 {
+		t.Fatal("run after halt must execute nothing")
+	}
+}
+
+func TestRunStopsAtExactBudget(t *testing.T) {
+	m := buildAndLoad(t, func(b *asm.Builder) {
+		b.Movi(1, 1000)
+		b.Label("loop")
+		b.I(isa.OpAddi, 1, 1, -1)
+		b.Br(isa.OpBne, 1, 0, "loop")
+		b.Halt()
+	})
+	if n := m.Run(57, nil); n != 57 {
+		t.Fatalf("executed %d, want 57", n)
+	}
+	if m.Stats().Instructions != 57 {
+		t.Fatal("stats disagree with return value")
+	}
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestBuildKernelImageRejectsBadWS(t *testing.T) {
+	frag := BuildFragment(KALU, 0, HotBase)
+	for _, ws := range []uint64{0, 3, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ws=%d must panic", ws)
+				}
+			}()
+			BuildKernelImage(frag, ws, 12, 16)
+		}()
+	}
+}
+
+func TestMicroImagesDeterministic(t *testing.T) {
+	frag := BuildFragment(KMix, 1, HotBase)
+	a := BuildKernelImage(frag, 256, 12, 16)
+	b := BuildKernelImage(frag, 256, 12, 16)
+	if a.Bytes() != b.Bytes() {
+		t.Fatal("micro images differ between identical builds")
+	}
+	m := vm.New(vm.Config{})
+	m.Load(a)
+	if n := m.Run(10_000, nil); n != 10_000 {
+		t.Fatalf("micro image ran %d of 10000", n)
+	}
+}
+
+// TestEveryKernelMicroImageRuns exercises each archetype's generated
+// code end to end on the VM (decode validity, loop control, episode
+// paths).
+func TestEveryKernelMicroImageRuns(t *testing.T) {
+	for kind := KernelKind(0); int(kind) < NumKernelKinds; kind++ {
+		for v := 0; v < 2; v++ {
+			frag := BuildFragment(kind, v, HotBase)
+			// Low mask bits: force episodes (including the long-burst
+			// path) to execute.
+			img := BuildKernelImage(frag, 256, 5, 8)
+			m := vm.New(vm.Config{})
+			m.Load(img)
+			if n := m.Run(200_000, nil); n != 200_000 {
+				t.Fatalf("%s: ran %d", frag.Name(), n)
+			}
+			if m.Stats().Syscalls == 0 {
+				t.Errorf("%s: episodes never fired at 1/32 trigger rate", frag.Name())
+			}
+		}
+	}
+}

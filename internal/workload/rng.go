@@ -1,0 +1,54 @@
+package workload
+
+// rng is a splitmix64 generator. The workload generator must be
+// deterministic across Go releases (benchmark programs are part of the
+// experimental setup), so it does not use math/rand.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a deterministic value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// pick returns a weighted choice index given non-negative weights.
+func (r *rng) pick(weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	v := r.intn(total)
+	for i, w := range weights {
+		if v < w {
+			return i
+		}
+		v -= w
+	}
+	return len(weights) - 1
+}
+
+// seedFromName derives a stable 64-bit seed from a benchmark name
+// (FNV-1a).
+func seedFromName(name string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

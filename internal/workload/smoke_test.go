@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// TestSmokeRun executes a small-scale benchmark end to end on the VM and
+// checks that the phase machinery produces the expected statistics.
+func TestSmokeRun(t *testing.T) {
+	spec, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, plan := BuildScaled(spec, 200_000) // 350K instructions
+	m := vm.New(vm.Config{})
+	m.Load(img)
+	total := m.RunToCompletion(1<<16, nil)
+	st := m.Stats()
+	t.Logf("executed=%d target=%d phases=%d", total, plan.TotalTarget, len(plan.Phases))
+	t.Logf("stats: %+v", st)
+	t.Logf("phase marks: %d", len(m.PhaseLog()))
+	if total < plan.TotalTarget*9/10 {
+		t.Errorf("executed %d, want >= 90%% of target %d", total, plan.TotalTarget)
+	}
+	if st.TCInvalidations == 0 {
+		t.Error("no translation-cache invalidations; code staging is broken")
+	}
+	if st.IOOps == 0 {
+		t.Error("no I/O operations")
+	}
+	if st.PageFaults == 0 || st.Syscalls == 0 {
+		t.Error("missing exception activity")
+	}
+	if len(m.PhaseLog()) != len(plan.Phases) {
+		t.Errorf("phase marks %d != planned phases %d", len(m.PhaseLog()), len(plan.Phases))
+	}
+}
