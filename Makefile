@@ -1,0 +1,35 @@
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz-smoke diffcheck golden-update ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short bounded run of every fuzz target; regression corpora under
+# testdata/fuzz/ always run as part of plain `make test`.
+fuzz-smoke:
+	$(GO) test ./internal/isa -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/asm -run '^$$' -fuzz '^FuzzAsmRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/asm -run '^$$' -fuzz '^FuzzMoviExpansion$$' -fuzztime $(FUZZTIME)
+
+# Differential-execution checks over generated guest programs plus
+# sampling-policy determinism (see internal/check and cmd/diffcheck).
+diffcheck:
+	$(GO) run ./cmd/diffcheck -seed 1 -n 200
+
+golden-update:
+	$(GO) test ./internal/experiments -run TestGolden -update
+
+ci: vet build race fuzz-smoke diffcheck

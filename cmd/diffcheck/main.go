@@ -1,0 +1,122 @@
+// Command diffcheck runs the differential-execution and invariant
+// checks in internal/check against seeded random guest programs and
+// against the sampling policies.
+//
+// Usage:
+//
+//	diffcheck [-seed N] [-n COUNT] [-chunk C] [-mode MODE] [-scale S] [-bench LIST] [-v]
+//
+// Modes:
+//
+//	all       every program-level check per seed, then policy determinism
+//	lockstep  fast-mode vs event-mode lockstep differencing only
+//	snapshot  snapshot/restore round-trip check only
+//	replay    same-partitioning replay determinism only
+//	chunks    chunk-partitioning agreement only
+//	policies  sampling-policy determinism only (no generated programs)
+//
+// Program checks run seeds seed..seed+n-1. Any divergence is reported
+// with the first differing field and a disassembled window around the
+// divergence PC, and the exit status is 1; re-running with the printed
+// seed reproduces it exactly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		seed  = flag.Uint64("seed", 1, "first generator seed")
+		n     = flag.Uint64("n", 100, "number of generated programs to check")
+		chunk = flag.Uint64("chunk", 0, "sync-point granularity in instructions (0 = default 509)")
+		mode  = flag.String("mode", "all", "all|lockstep|snapshot|replay|chunks|policies")
+		scale = flag.Int("scale", 50_000, "benchmark scale divisor for policy determinism")
+		bench = flag.String("bench", "gzip,mcf", "comma-separated benchmarks for policy determinism (\"all\" = every benchmark)")
+		verb  = flag.Bool("v", false, "report every seed, not just failures")
+	)
+	flag.Parse()
+
+	o := check.DefaultOptions()
+	if *chunk != 0 {
+		o.Chunk = *chunk
+	}
+
+	runPrograms := *mode != "policies"
+	runPolicies := *mode == "all" || *mode == "policies"
+	var totalInstr uint64
+
+	if runPrograms {
+		for s := *seed; s < *seed+*n; s++ {
+			rep, div, err := checkSeed(s, o, *mode)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+				os.Exit(1)
+			}
+			if div != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", div)
+				fmt.Fprintf(os.Stderr, "diffcheck: reproduce with: diffcheck -mode %s -seed %d -n 1 -chunk %d\n",
+					*mode, s, o.Chunk)
+				os.Exit(1)
+			}
+			totalInstr += rep.Instr
+			if *verb {
+				fmt.Printf("seed %d: ok (%d instructions; %s)\n",
+					s, rep.Instr, strings.Join(rep.Checks, ", "))
+			}
+		}
+		fmt.Printf("diffcheck: %d programs ok (seeds %d..%d, mode %s, chunk %d, %d instructions)\n",
+			*n, *seed, *seed+*n-1, *mode, o.Chunk, totalInstr)
+	}
+
+	if runPolicies {
+		benches := strings.Split(*bench, ",")
+		if *bench == "all" {
+			benches = workload.Names()
+		}
+		opts := core.Options{Scale: *scale}
+		for _, b := range benches {
+			b = strings.TrimSpace(b)
+			if err := check.PolicyDeterminism(b, opts, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+				os.Exit(1)
+			}
+			if *verb {
+				fmt.Printf("policies on %s: deterministic at scale %d\n", b, *scale)
+			}
+		}
+		fmt.Printf("diffcheck: policy determinism ok (%s at scale %d)\n",
+			strings.Join(benches, ", "), *scale)
+	}
+}
+
+// checkSeed runs the selected check(s) for one generated program.
+func checkSeed(seed uint64, o check.Options, mode string) (*check.ProgramReport, *check.Divergence, error) {
+	if mode == "all" {
+		return check.CheckProgram(seed, o)
+	}
+	prog := check.Generate(seed)
+	rep := &check.ProgramReport{Seed: seed, Checks: []string{mode}}
+	var div *check.Divergence
+	var err error
+	switch mode {
+	case "lockstep":
+		div, rep.Instr, err = check.Lockstep(prog, o)
+	case "snapshot":
+		div, err = check.SnapshotRoundTrip(prog, o)
+	case "replay":
+		div, err = check.ReplayDeterminism(prog, o)
+	case "chunks":
+		div, err = check.ChunkAgreement(prog, o, 0)
+	default:
+		return nil, nil, fmt.Errorf("unknown -mode %q (want all|lockstep|snapshot|replay|chunks|policies)", mode)
+	}
+	return rep, div, err
+}

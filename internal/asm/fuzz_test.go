@@ -1,0 +1,87 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// canonInst folds arbitrary fuzz bytes into a well-formed instruction
+// that the assembler accepts: a defined opcode, architectural register
+// indices, and (for PC-relative control flow) an 8-byte-aligned offset.
+func canonInst(op, rd, rs1, rs2 byte, imm int32) isa.Inst {
+	in := isa.Inst{
+		Op:  isa.Op(int(op) % isa.NumOps),
+		Rd:  rd % isa.NumRegs,
+		Rs1: rs1 % isa.NumRegs,
+		Rs2: rs2 % isa.NumRegs,
+		Imm: imm,
+	}
+	if in.Op.Class() == isa.ClassBranch || in.Op == isa.OpJmp || in.Op == isa.OpJal {
+		in.Imm &^= 7
+	}
+	return in
+}
+
+// FuzzAsmRoundTrip asserts assemble -> disassemble -> assemble is a
+// fixed point: any instruction the Builder accepts encodes to a word
+// that decodes back to the identical instruction and re-encodes to the
+// identical word.
+func FuzzAsmRoundTrip(f *testing.F) {
+	f.Add(byte(isa.OpAdd), byte(1), byte(2), byte(3), int32(0))
+	f.Add(byte(isa.OpAddi), byte(4), byte(5), byte(0), int32(-1))
+	f.Add(byte(isa.OpBeq), byte(0), byte(6), byte(7), int32(-16))
+	f.Add(byte(isa.OpJal), byte(30), byte(0), byte(0), int32(64))
+	f.Add(byte(isa.OpSys), byte(0), byte(0), byte(0), int32(isa.SysExit))
+	f.Add(byte(isa.OpMovhi), byte(9), byte(0), byte(0), int32(-1))
+	f.Fuzz(func(t *testing.T, op, rd, rs1, rs2 byte, imm int32) {
+		in := canonInst(op, rd, rs1, rs2, imm)
+		b := NewBuilder(0x1000)
+		b.Emit(in) // MustValid accepts every canonInst output
+		words := b.Words()
+		if len(words) != 1 {
+			t.Fatalf("emitted %d words, want 1", len(words))
+		}
+		back := isa.Decode(words[0])
+		if back != in {
+			t.Fatalf("decode(assemble(%v)) = %v", in, back)
+		}
+		if re := isa.Encode(back); re != words[0] {
+			t.Fatalf("reassemble(%v) = %#x, want %#x", back, re, words[0])
+		}
+	})
+}
+
+// FuzzMoviExpansion asserts the Movi pseudo-instruction materialises any
+// 64-bit constant exactly, by symbolically executing its expansion.
+func FuzzMoviExpansion(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(-1))
+	f.Add(int64(1) << 62)
+	f.Add(int64(-1) << 31)
+	f.Add(int64(1)<<31 + 12345)
+	f.Fuzz(func(t *testing.T, v int64) {
+		b := NewBuilder(0x1000)
+		const rd = 7
+		b.Movi(rd, v)
+		var reg uint64
+		for _, w := range b.Words() {
+			in := isa.Decode(w)
+			switch in.Op {
+			case isa.OpMovi:
+				reg = uint64(int64(in.Imm))
+			case isa.OpMovhi:
+				reg |= uint64(uint32(in.Imm)) << 32
+			case isa.OpSlli:
+				reg <<= uint32(in.Imm) & 63
+			case isa.OpSrli:
+				reg >>= uint32(in.Imm) & 63
+			default:
+				t.Fatalf("unexpected op in Movi expansion: %v", in)
+			}
+		}
+		if reg != uint64(v) {
+			t.Fatalf("Movi(%#x) materialised %#x", uint64(v), reg)
+		}
+	})
+}

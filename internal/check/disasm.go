@@ -1,0 +1,31 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// DisasmWindow renders a disassembled window of before/after
+// instructions around pc in m's memory, marking pc itself. Divergence
+// reports embed it so a failure shows the code the two runs disagreed
+// in without a separate disassembler invocation.
+func DisasmWindow(m *vm.Machine, pc uint64, before, after int) string {
+	var sb strings.Builder
+	start := pc - uint64(before)*isa.InstBytes
+	if start > pc { // underflow
+		start = 0
+	}
+	fmt.Fprintf(&sb, "  code around pc=%#x:\n", pc)
+	for addr := start; addr <= pc+uint64(after)*isa.InstBytes; addr += isa.InstBytes {
+		w := m.Mem().Peek(addr)
+		marker := "  "
+		if addr == pc {
+			marker = "=>"
+		}
+		fmt.Fprintf(&sb, "  %s %#08x  %016x  %v\n", marker, addr, w, isa.Decode(w))
+	}
+	return sb.String()
+}

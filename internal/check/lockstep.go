@@ -1,0 +1,84 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Lockstep runs prog through two machines — fast mode (nil Sink) and
+// event-generating mode (counting Sink) — in chunks of o.Chunk
+// instructions, comparing the complete machine state at every sync
+// point. It also cross-checks the event stream against the VM's
+// internal statistics: per-instruction events are the ground truth the
+// timing path consumes, so their class counts must reconcile with the
+// counters Dynamic Sampling monitors.
+//
+// It returns the first divergence (nil if none) and the number of
+// instructions the program executed.
+func Lockstep(prog *Program, o Options) (*Divergence, uint64, error) {
+	o.setDefaults()
+	fast := vm.New(o.VM)
+	fast.Load(prog.Image)
+	event := vm.New(o.VM)
+	event.Load(prog.Image)
+	sink := &vm.CountingSink{}
+
+	report := func(step int, instr uint64, field, av, bv string) *Divergence {
+		return &Divergence{
+			Check: "lockstep", Seed: prog.Seed, Step: step, Instr: instr,
+			Field: field, A: av, B: bv,
+			Window: DisasmWindow(fast, fast.PC(), 6, 6),
+		}
+	}
+
+	var total uint64
+	for step := 0; ; step++ {
+		na := fast.Run(o.Chunk, nil)
+		nb := event.Run(o.Chunk, sink)
+		total += na
+		if na != nb {
+			return report(step, total, "instructions executed in chunk",
+				fmt.Sprint(na), fmt.Sprint(nb)), total, nil
+		}
+
+		sa := capture(fast, o.CompareHostStats)
+		sb := capture(event, o.CompareHostStats)
+		if field, av, bv, ok := sa.diff(sb); !ok {
+			return report(step, total, field, av, bv), total, nil
+		}
+
+		// Event stream vs internal statistics ("stats agreement").
+		st := event.Stats()
+		for _, inv := range []struct {
+			name   string
+			events uint64
+			stat   uint64
+		}{
+			{"events delivered", sink.Total, st.Instructions},
+			{"branch events", sink.ByClass[isa.ClassBranch], st.Branches},
+			{"load events", sink.ByClass[isa.ClassLoad], st.MemReads},
+			{"store events", sink.ByClass[isa.ClassStore], st.MemWrites},
+			{"sys events", sink.ByClass[isa.ClassSys], st.Syscalls},
+		} {
+			if inv.events != inv.stat {
+				return report(step, total, "event stream vs stats: "+inv.name,
+					fmt.Sprint(inv.events), fmt.Sprint(inv.stat)), total, nil
+			}
+		}
+
+		if fast.Halted() && event.Halted() {
+			return nil, total, nil
+		}
+		if na == 0 {
+			return nil, total, fmt.Errorf("check: lockstep stalled at instr %d without halting (seed=%d)", total, prog.Seed)
+		}
+		if total > o.MaxInstr {
+			return nil, total, fmt.Errorf("check: program did not halt within %d instructions (seed=%d)", o.MaxInstr, prog.Seed)
+		}
+		if o.Hook != nil {
+			o.Hook(step, fast, event)
+		}
+	}
+}

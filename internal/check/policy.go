@@ -1,0 +1,81 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+	"repro/internal/simpoint"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// DefaultPolicies returns one representative of every policy family the
+// paper compares — FullTiming, SMARTS, SimPoint, and Dynamic Sampling —
+// configured for a benchmark with the given total instruction budget.
+func DefaultPolicies(totalInstr uint64) []sampling.Policy {
+	return []sampling.Policy{
+		sampling.FullTiming{},
+		sampling.DefaultSMARTS(totalInstr),
+		simpoint.New(false),
+		sampling.NewDynamic(vm.MetricCPU, 300, 1, 10),
+	}
+}
+
+// PolicyDeterminism replays a full sampling session twice per policy on
+// fresh sessions built from the same benchmark spec and options, and
+// requires the two Results to be bit-identical: same IPC estimate (to
+// the last float bit), same sample count and schedule, same detections,
+// same modelled cost. Sampling results are the repo's primary
+// experimental output, so any hidden nondeterminism here silently
+// corrupts the reproduction.
+//
+// Policies defaults to DefaultPolicies for the benchmark's budget.
+func PolicyDeterminism(bench string, opts core.Options, policies []sampling.Policy) error {
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	if policies == nil {
+		policies = DefaultPolicies(spec.ScaledInstr(opts.Scale))
+	}
+	for _, p := range policies {
+		a, err := p.Run(core.NewSession(spec, opts))
+		if err != nil {
+			return fmt.Errorf("check: %s on %s: %v", p.Name(), bench, err)
+		}
+		b, err := p.Run(core.NewSession(spec, opts))
+		if err != nil {
+			return fmt.Errorf("check: %s on %s (replay): %v", p.Name(), bench, err)
+		}
+		if err := compareResults(a, b); err != nil {
+			return fmt.Errorf("check: policy %s on %s not deterministic: %v", p.Name(), bench, err)
+		}
+	}
+	return nil
+}
+
+// compareResults requires two sampling results to be bit-identical.
+func compareResults(a, b sampling.Result) error {
+	switch {
+	case math.Float64bits(a.EstIPC) != math.Float64bits(b.EstIPC):
+		return fmt.Errorf("EstIPC %v != %v", a.EstIPC, b.EstIPC)
+	case a.Instructions != b.Instructions:
+		return fmt.Errorf("Instructions %d != %d", a.Instructions, b.Instructions)
+	case a.Samples != b.Samples:
+		return fmt.Errorf("Samples %d != %d", a.Samples, b.Samples)
+	case math.Float64bits(a.CIHalfWidthPct) != math.Float64bits(b.CIHalfWidthPct):
+		return fmt.Errorf("CIHalfWidthPct %v != %v", a.CIHalfWidthPct, b.CIHalfWidthPct)
+	case math.Float64bits(a.Cost.Units) != math.Float64bits(b.Cost.Units):
+		return fmt.Errorf("Cost.Units %v != %v", a.Cost.Units, b.Cost.Units)
+	case len(a.Detections) != len(b.Detections):
+		return fmt.Errorf("Detections %v != %v", a.Detections, b.Detections)
+	}
+	for i := range a.Detections {
+		if a.Detections[i] != b.Detections[i] {
+			return fmt.Errorf("Detections[%d] %d != %d", i, a.Detections[i], b.Detections[i])
+		}
+	}
+	return nil
+}

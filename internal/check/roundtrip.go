@@ -1,0 +1,98 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// runToHalt drives m in chunks until it halts, returning instructions
+// executed; errors if the budget is exhausted first.
+func runToHalt(m *vm.Machine, chunk, budget uint64, seed uint64) (uint64, error) {
+	var total uint64
+	for !m.Halted() {
+		n := m.Run(chunk, nil)
+		total += n
+		if n == 0 && !m.Halted() {
+			return total, fmt.Errorf("check: run stalled at instr %d (seed=%d)", total, seed)
+		}
+		if total > budget {
+			return total, fmt.Errorf("check: program did not halt within %d instructions (seed=%d)", budget, seed)
+		}
+	}
+	return total, nil
+}
+
+// SnapshotRoundTrip checks the VM's snapshot/restore machinery against
+// an uninterrupted run:
+//
+//  1. an uninterrupted machine runs prog to completion;
+//  2. a second machine runs halfway, snapshots, and continues — its
+//     final state must match (taking a snapshot must not perturb the
+//     guest);
+//  3. the snapshot is restored into a *fresh* machine whose state right
+//     after the restore must match the snapshot point bit-for-bit, and
+//     whose resumed run must reach the same final state.
+//
+// Comparisons use architectural state and partition-insensitive
+// statistics: the VM documents that translation-cache and
+// instruction-TLB bookkeeping may differ after a restore (the DBT
+// retranslates), and the checker enforces that *only* those may.
+func SnapshotRoundTrip(prog *Program, o Options) (*Divergence, error) {
+	o.setDefaults()
+
+	report := func(m *vm.Machine, step int, instr uint64, field, av, bv string) *Divergence {
+		return &Divergence{
+			Check: "snapshot-roundtrip", Seed: prog.Seed, Step: step, Instr: instr,
+			Field: field, A: av, B: bv,
+			Window: DisasmWindow(m, m.PC(), 6, 6),
+		}
+	}
+
+	// 1: uninterrupted reference run.
+	ref := vm.New(o.VM)
+	ref.Load(prog.Image)
+	total, err := runToHalt(ref, o.Chunk, o.MaxInstr, prog.Seed)
+	if err != nil {
+		return nil, err
+	}
+	final := capture(ref, false)
+
+	// 2: snapshot at roughly the midpoint, then continue.
+	snapAt := total / 2
+	mid := vm.New(o.VM)
+	mid.Load(prog.Image)
+	var executed uint64
+	for executed < snapAt && !mid.Halted() {
+		n := o.Chunk
+		if executed+n > snapAt {
+			n = snapAt - executed
+		}
+		executed += mid.Run(n, nil)
+	}
+	snap := mid.Snapshot()
+	atSnap := capture(mid, false)
+
+	if _, err := runToHalt(mid, o.Chunk, o.MaxInstr, prog.Seed); err != nil {
+		return nil, err
+	}
+	if field, av, bv, ok := capture(mid, false).diff(final); !ok {
+		return report(mid, 1, executed, "snapshot perturbed the run: "+field, av, bv), nil
+	}
+
+	// 3: restore into a fresh machine and resume.
+	fresh := vm.New(o.VM)
+	if err := fresh.Restore(snap); err != nil {
+		return nil, fmt.Errorf("check: restore failed (seed=%d): %v", prog.Seed, err)
+	}
+	if field, av, bv, ok := capture(fresh, false).diff(atSnap); !ok {
+		return report(fresh, 2, executed, "state after restore: "+field, av, bv), nil
+	}
+	if _, err := runToHalt(fresh, o.Chunk, o.MaxInstr, prog.Seed); err != nil {
+		return nil, err
+	}
+	if field, av, bv, ok := capture(fresh, false).diff(final); !ok {
+		return report(fresh, 3, executed, "resumed run diverged: "+field, av, bv), nil
+	}
+	return nil, nil
+}

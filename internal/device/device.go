@@ -5,6 +5,8 @@
 // interface.
 package device
 
+import "sort"
+
 // Console is a write-only character device. Output is counted, not
 // stored, except for a small tail kept for tests and debugging.
 type Console struct {
@@ -104,6 +106,37 @@ func (b *Block) WriteSector(sector uint64, src *[SectorWords]uint64) {
 
 // DirtySectors returns the number of sectors the guest has written.
 func (b *Block) DirtySectors() int { return len(b.dirty) }
+
+// Digest returns an FNV-1a hash of the device-visible state: seed and
+// the content of every guest-written sector (in sector order). Transfer
+// counters are excluded — they are mirrored in the VM statistics and
+// compared there.
+func (b *Block) Digest() uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * i) & 0xff
+			h *= prime
+		}
+	}
+	mix(b.Seed)
+	sectors := make([]uint64, 0, len(b.dirty))
+	for sec := range b.dirty {
+		sectors = append(sectors, sec)
+	}
+	sort.Slice(sectors, func(i, j int) bool { return sectors[i] < sectors[j] })
+	for _, sec := range sectors {
+		mix(sec)
+		for _, w := range b.dirty[sec] {
+			mix(w)
+		}
+	}
+	return h
+}
 
 // Clone returns a deep copy (for VM snapshots).
 func (b *Block) Clone() *Block {

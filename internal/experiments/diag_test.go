@@ -12,6 +12,7 @@ import (
 // TestDiagPerBench prints per-benchmark accuracy for the headline
 // policies — a development aid for shape tuning.
 func TestDiagPerBench(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("slow diagnostic")
 	}

@@ -17,6 +17,7 @@ func testRunner() *Runner {
 }
 
 func TestMemoisation(t *testing.T) {
+	t.Parallel()
 	r := testRunner()
 	p := sampling.NewDynamic(vm.MetricCPU, 300, 1, 0)
 	a, err := r.Run("gzip", p)
@@ -33,6 +34,7 @@ func TestMemoisation(t *testing.T) {
 }
 
 func TestUnknownBenchmarkRejected(t *testing.T) {
+	t.Parallel()
 	r := testRunner()
 	if _, err := r.Run("nosuch", sampling.FullTiming{}); err == nil {
 		t.Fatal("unknown benchmark must fail")
@@ -40,6 +42,7 @@ func TestUnknownBenchmarkRejected(t *testing.T) {
 }
 
 func TestRunAllAndAggregate(t *testing.T) {
+	t.Parallel()
 	r := testRunner()
 	policies := []sampling.Policy{
 		sampling.FullTiming{},
@@ -65,6 +68,7 @@ func TestRunAllAndAggregate(t *testing.T) {
 }
 
 func TestSimPointBothVariantsFromOneRun(t *testing.T) {
+	t.Parallel()
 	r := testRunner()
 	an, err := r.Analysis("gzip")
 	if err != nil {
@@ -87,6 +91,7 @@ func TestSimPointBothVariantsFromOneRun(t *testing.T) {
 }
 
 func TestParetoOptimal(t *testing.T) {
+	t.Parallel()
 	aggs := []Aggregate{
 		{Policy: "a", MeanErrPct: 1, Speedup: 100},
 		{Policy: "b", MeanErrPct: 2, Speedup: 50}, // dominated by a
@@ -100,6 +105,7 @@ func TestParetoOptimal(t *testing.T) {
 }
 
 func TestTable1Renders(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := Table1(&buf); err != nil {
 		t.Fatal(err)
@@ -113,6 +119,7 @@ func TestTable1Renders(t *testing.T) {
 }
 
 func TestFiguresRenderOnSubset(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("integration render is slow")
 	}
@@ -141,6 +148,7 @@ func TestFiguresRenderOnSubset(t *testing.T) {
 }
 
 func TestCSVExports(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("slow")
 	}

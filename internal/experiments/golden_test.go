@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGolden locks down the rendered experiment artefacts at a small
+// fixed scale and benchmark subset. The sampling pipeline is
+// deterministic end to end (internal/check.PolicyDeterminism enforces
+// it), so every byte of these renders is reproducible; any diff here is
+// a behaviour change that must be reviewed, then accepted with
+//
+//	go test ./internal/experiments -run TestGolden -update
+func TestGolden(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("integration render is slow")
+	}
+	r := NewRunner(Options{Scale: 50_000, Benchmarks: []string{"gzip", "perlbmk"}})
+	renders := []struct {
+		name string
+		run  func(*bytes.Buffer) error
+	}{
+		{"table1", func(b *bytes.Buffer) error { return Table1(b) }},
+		{"table2", func(b *bytes.Buffer) error { return Table2(r, b) }},
+		{"figure2", func(b *bytes.Buffer) error { return Figure2(r, b) }},
+	}
+	for _, c := range renders {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := c.run(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", c.name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create golden files)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s drifted from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+					c.name, path, buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 // paper, 235 simpoints) must not get fewer clusters than wupwise (the
 // paper's most uniform benchmark, 28 simpoints).
 func TestSimPointKDiscrimination(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("slow")
 	}

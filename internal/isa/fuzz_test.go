@@ -1,0 +1,60 @@
+package isa
+
+import "testing"
+
+// FuzzDecode feeds arbitrary 64-bit memory words to the decoder and
+// asserts the decode path is total: no input may panic Decode, String,
+// WellFormed, or the Op accessors, and re-encoding a decoded word must
+// reach a fixed point after one canonicalisation pass (reserved bits
+// are dropped, everything else survives).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(Encode(Inst{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -4096}))
+	f.Add(Encode(Inst{Op: OpBeq, Rs1: 3, Rs2: 4, Imm: -16}))
+	f.Add(Encode(Inst{Op: OpSys, Imm: SysExit}))
+	f.Add(uint64(numOps))                // first undefined opcode
+	f.Add(uint64(0xff) | 63<<8 | 63<<14) // undefined op, out-of-range regs
+	f.Add(uint64(OpAdd) | 1<<26)         // reserved bit set
+	f.Fuzz(func(t *testing.T, w uint64) {
+		in := Decode(w)
+		_ = in.String()
+		_ = in.WellFormed()
+		_ = in.Op.Class()
+		_ = in.Op.EndsBlock()
+
+		c := Encode(in)
+		if got := Decode(c); got != in {
+			t.Fatalf("decode(encode(decode(%#x))) = %+v, want %+v", w, got, in)
+		}
+		if c2 := Encode(Decode(c)); c2 != c {
+			t.Fatalf("canonical encoding of %#x not a fixed point: %#x -> %#x", w, c, c2)
+		}
+	})
+}
+
+// TestDecodeTotal proves Decode and the accessors used on its result are
+// total over every opcode byte (defined and undefined) combined with
+// boundary register and immediate values.
+func TestDecodeTotal(t *testing.T) {
+	regs := []uint8{0, 1, uint8(NumRegs) - 1, uint8(NumRegs), 63}
+	imms := []int32{0, 1, -1, 8, -8, 1 << 30, -(1 << 31)}
+	for op := 0; op < 256; op++ {
+		for _, r := range regs {
+			for _, imm := range imms {
+				in := Decode(uint64(uint8(op)) |
+					uint64(r)<<8 | uint64(r)<<14 | uint64(r)<<20 |
+					uint64(uint32(imm))<<32)
+				if got, want := in.Op.Valid(), op < NumOps; got != want {
+					t.Fatalf("op %d: Valid()=%v, want %v", op, got, want)
+				}
+				if in.WellFormed() && (!in.Op.Valid() || in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs) {
+					t.Fatalf("op %d regs %d: WellFormed() too permissive on %+v", op, r, in)
+				}
+				if s := in.String(); s == "" {
+					t.Fatalf("op %d: empty rendering", op)
+				}
+			}
+		}
+	}
+}

@@ -249,8 +249,23 @@ type Inst struct {
 	Imm int32
 }
 
-// String renders the instruction in assembler syntax.
+// WellFormed reports whether the instruction is executable: a defined
+// opcode with all register fields in architectural range. Decode is
+// total over arbitrary memory words, so decoded garbage can carry
+// register indices 32..63; the VM refuses to execute those the same way
+// it refuses undefined opcodes.
+func (i Inst) WellFormed() bool {
+	return i.Op.Valid() && i.Rd < NumRegs && i.Rs1 < NumRegs && i.Rs2 < NumRegs
+}
+
+// String renders the instruction in assembler syntax. It is total:
+// instructions decoded from arbitrary words (including undefined
+// opcodes) render as raw fields rather than panicking.
 func (i Inst) String() string {
+	if !i.Op.Valid() {
+		return fmt.Sprintf("illegal(op=%d, rd=%d, rs1=%d, rs2=%d, imm=%d)",
+			uint8(i.Op), i.Rd, i.Rs1, i.Rs2, i.Imm)
+	}
 	info := opInfo[i.Op]
 	switch {
 	case i.Op == OpNop || i.Op == OpHalt:

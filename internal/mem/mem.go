@@ -118,6 +118,34 @@ func (m *Memory) materialise(vpn uint64) *Page {
 	return p
 }
 
+// Digest returns an FNV-1a hash of the materialised memory contents,
+// including which pages are materialised. Two memories that executed the
+// same guest operations digest identically; the differential harness
+// (internal/check) uses this as its memory-equality witness.
+func (m *Memory) Digest() uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * i) & 0xff
+			h *= prime
+		}
+	}
+	for vpn, p := range m.pages {
+		if p == nil {
+			continue
+		}
+		mix(uint64(vpn))
+		for _, w := range p {
+			mix(w)
+		}
+	}
+	return h
+}
+
 // Snapshot captures a deep copy of the allocated pages.
 type Snapshot struct {
 	spanBytes uint64

@@ -12,6 +12,7 @@ import (
 // trace alongside Dynamic Sampling detections for one benchmark so the
 // correlation between VM statistics and IPC can be inspected.
 func TestDebugTrace(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("debug trace is slow")
 	}

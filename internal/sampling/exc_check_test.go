@@ -14,6 +14,7 @@ import (
 // triggers) and less accurate (samples correlated with maintenance
 // bursts) than CPU-monitored sampling.
 func TestEXCInferiority(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("slow")
 	}

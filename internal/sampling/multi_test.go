@@ -7,6 +7,7 @@ import (
 )
 
 func TestCombinedMetricsName(t *testing.T) {
+	t.Parallel()
 	p := NewDynamic(vm.MetricCPU, 300, 1, 0)
 	p.ExtraMetrics = []vm.Metric{vm.MetricIO}
 	if got := p.Name(); got != "CPU+I/O-300-1M-∞" {
@@ -18,6 +19,7 @@ func TestCombinedMetricsName(t *testing.T) {
 // at least as many phase changes as CPU alone, and the estimate must
 // stay close to the baseline.
 func TestCombinedMetricsSupersetDetections(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("slow")
 	}

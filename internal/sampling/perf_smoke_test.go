@@ -13,6 +13,7 @@ import (
 // scale and reports error/speedup so the accuracy/speed shape can be
 // eyeballed during development.
 func TestPolicyShapeSmoke(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("shape smoke is slow")
 	}

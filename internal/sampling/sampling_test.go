@@ -12,6 +12,7 @@ import (
 )
 
 func TestEstimatorExactOnFullCoverage(t *testing.T) {
+	t.Parallel()
 	// Sampling every interval reconstructs total cycles exactly.
 	f := func(ipcsRaw []uint8) bool {
 		if len(ipcsRaw) == 0 {
@@ -34,6 +35,7 @@ func TestEstimatorExactOnFullCoverage(t *testing.T) {
 }
 
 func TestEstimatorExtrapolation(t *testing.T) {
+	t.Parallel()
 	var e Estimator
 	e.Sample(2.0, 100) // 50 cycles
 	e.Functional(900)  // extrapolated at 2.0: 450 cycles
@@ -49,6 +51,7 @@ func TestEstimatorExtrapolation(t *testing.T) {
 }
 
 func TestEstimatorPendingPrefix(t *testing.T) {
+	t.Parallel()
 	// Functional execution before the first sample is attributed to it.
 	var e Estimator
 	e.Functional(500)
@@ -59,6 +62,7 @@ func TestEstimatorPendingPrefix(t *testing.T) {
 }
 
 func TestEstimatorPiecewiseConstantPerfect(t *testing.T) {
+	t.Parallel()
 	// One sample per phase of a piecewise-constant trace reconstructs
 	// the exact IPC when samples land inside their phases.
 	var e Estimator
@@ -79,6 +83,7 @@ func TestEstimatorPiecewiseConstantPerfect(t *testing.T) {
 }
 
 func TestEstimatorIgnoresDegenerateSamples(t *testing.T) {
+	t.Parallel()
 	var e Estimator
 	e.Sample(0, 100) // ignored
 	e.Sample(1.0, 0) // ignored
@@ -98,6 +103,7 @@ func sessionFor(t *testing.T, bench string, scale int) *core.Session {
 }
 
 func TestFullTimingCoversEverything(t *testing.T) {
+	t.Parallel()
 	s := sessionFor(t, "gzip", 100_000)
 	res, err := FullTiming{}.Run(s)
 	if err != nil {
@@ -116,6 +122,7 @@ func TestFullTimingCoversEverything(t *testing.T) {
 }
 
 func TestSMARTSBadConfigRejected(t *testing.T) {
+	t.Parallel()
 	s := sessionFor(t, "gzip", 200_000)
 	if _, err := (SMARTS{UnitInstr: 100, PeriodInstr: 100}).Run(s); err == nil {
 		t.Fatal("degenerate SMARTS config must be rejected")
@@ -123,6 +130,7 @@ func TestSMARTSBadConfigRejected(t *testing.T) {
 }
 
 func TestSMARTSSamplesPeriodically(t *testing.T) {
+	t.Parallel()
 	s := sessionFor(t, "gzip", 100_000)
 	p := DefaultSMARTS(s.Total())
 	res, err := p.Run(s)
@@ -136,6 +144,7 @@ func TestSMARTSSamplesPeriodically(t *testing.T) {
 }
 
 func TestDynamicZeroSensitivityTriggersOnAnyChange(t *testing.T) {
+	t.Parallel()
 	s := sessionFor(t, "gzip", 100_000)
 	// EXC fluctuates every interval (episodes, TLB refills), so S=0
 	// triggers nearly everywhere; each sample consumes settle+warm+timed
@@ -163,6 +172,7 @@ func TestDynamicZeroSensitivityTriggersOnAnyChange(t *testing.T) {
 }
 
 func TestDynamicMaxFuncForcesMinimumRate(t *testing.T) {
+	t.Parallel()
 	s := sessionFor(t, "gzip", 100_000)
 	// A sensitivity so high nothing triggers: only max_func samples.
 	p := NewDynamic(vm.MetricCPU, 1e12, 1, 10)
@@ -179,6 +189,7 @@ func TestDynamicMaxFuncForcesMinimumRate(t *testing.T) {
 }
 
 func TestDynamicUnlimitedAtImpossibleSensitivity(t *testing.T) {
+	t.Parallel()
 	s := sessionFor(t, "gzip", 100_000)
 	p := NewDynamic(vm.MetricCPU, 1e12, 1, 0)
 	res, err := p.Run(s)
@@ -194,6 +205,7 @@ func TestDynamicUnlimitedAtImpossibleSensitivity(t *testing.T) {
 }
 
 func TestDynamicDetectsPlannedTransitions(t *testing.T) {
+	t.Parallel()
 	s := sessionFor(t, "gzip", 50_000)
 	plan := s.Plan()
 	p := NewDynamic(vm.MetricCPU, 300, 1, 0)
@@ -215,6 +227,7 @@ func TestDynamicDetectsPlannedTransitions(t *testing.T) {
 }
 
 func TestPolicyNames(t *testing.T) {
+	t.Parallel()
 	cases := map[string]Policy{
 		"Full timing":     FullTiming{},
 		"SMARTS":          SMARTS{},
@@ -230,6 +243,7 @@ func TestPolicyNames(t *testing.T) {
 }
 
 func TestResultHelpers(t *testing.T) {
+	t.Parallel()
 	base := Result{EstIPC: 1.0, Cost: costUnits(1000)}
 	r := Result{EstIPC: 1.1, Cost: costUnits(10)}
 	if e := r.ErrorVs(base); math.Abs(e-0.1) > 1e-12 {

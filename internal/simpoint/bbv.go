@@ -8,6 +8,7 @@ package simpoint
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/vm"
 )
@@ -57,11 +58,19 @@ func (p *Profiler) projEntry(bucket uint64, d int) float64 {
 
 // EndInterval closes the current interval: the accumulated basic-block
 // counts are projected, L1-normalised, and appended to the vector list.
+// Buckets are accumulated in sorted order: float addition is not
+// associative, so summing in map-iteration order would give the same
+// profile different low bits on every run.
 func (p *Profiler) EndInterval() {
+	buckets := make([]uint64, 0, len(p.cur))
+	for bucket := range p.cur {
+		buckets = append(buckets, bucket)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i] < buckets[j] })
 	vec := make([]float64, p.Dim)
 	var total float64
-	for bucket, count := range p.cur {
-		c := float64(count)
+	for _, bucket := range buckets {
+		c := float64(p.cur[bucket])
 		total += c
 		for d := 0; d < p.Dim; d++ {
 			vec[d] += c * p.projEntry(bucket, d)

@@ -30,6 +30,7 @@ func soloIPC(t *testing.T, name string, scale int, budget uint64) float64 {
 }
 
 func TestGuestsRunToBudget(t *testing.T) {
+	t.Parallel()
 	const scale = 400_000
 	specA, budgetA := buildGuest(t, "gzip", scale)
 	specB, budgetB := buildGuest(t, "mcf", scale)
@@ -56,6 +57,7 @@ func TestGuestsRunToBudget(t *testing.T) {
 // improve, and should typically degrade, another guest's IPC relative
 // to running alone — the consolidation effect the shared L2 models.
 func TestSharedL2Interference(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("slow")
 	}
@@ -88,6 +90,7 @@ func TestSharedL2Interference(t *testing.T) {
 }
 
 func TestPrivateVsSharedL2Config(t *testing.T) {
+	t.Parallel()
 	// A core built with a SharedL2 must use exactly that cache.
 	shared := New(Config{}).sharedL2
 	cfg := timing.DefaultConfig()
@@ -101,6 +104,7 @@ func TestPrivateVsSharedL2Config(t *testing.T) {
 }
 
 func TestSystemDynamicSampling(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("slow")
 	}
@@ -147,6 +151,7 @@ func TestSystemDynamicSampling(t *testing.T) {
 }
 
 func TestDynamicSampleErrors(t *testing.T) {
+	t.Parallel()
 	sys := New(Config{})
 	if _, err := sys.DynamicSample(vm.MetricCPU, 300, 4000, 0); err == nil {
 		t.Fatal("empty system must be rejected")

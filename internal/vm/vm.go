@@ -212,8 +212,8 @@ func (m *Machine) translate(pc uint64) *block {
 	for len(b.insts) < m.cfg.MaxBlockLen && addr < pageEnd {
 		w := m.mem.Peek(addr)
 		in := isa.Decode(w)
-		if !in.Op.Valid() {
-			panic(fmt.Sprintf("vm: illegal instruction %#x at pc=%#x", w, addr))
+		if !in.WellFormed() {
+			panic(fmt.Sprintf("vm: illegal instruction %#x (%v) at pc=%#x", w, in, addr))
 		}
 		b.insts = append(b.insts, in)
 		addr += isa.InstBytes

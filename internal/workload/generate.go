@@ -166,7 +166,7 @@ func Build(spec Spec, totalInstr, intervalLen uint64) (*asm.Image, *Plan) {
 		spec:     spec,
 		total:    totalInstr,
 		interval: intervalLen,
-		rng:      newRNG(spec.Seed()),
+		rng:      NewRNG(spec.Seed()),
 		code:     asm.NewBuilder(CodeBase),
 		data:     asm.NewDataSeg(DataBase),
 		plan: &Plan{
@@ -190,7 +190,7 @@ type generator struct {
 	spec     Spec
 	total    uint64
 	interval uint64
-	rng      *rng
+	rng      *RNG
 	code     *asm.Builder
 	data     *asm.DataSeg
 	plan     *Plan
@@ -305,7 +305,7 @@ func (g *generator) build() {
 
 // makeBehaviors picks the benchmark's 3–5 characteristic behaviours.
 func (g *generator) makeBehaviors() {
-	n := 3 + g.rng.intn(3)
+	n := 3 + g.rng.Intn(3)
 	var base []int
 	if g.spec.FP {
 		//            chase stream alu branchy fp mix vast l2
@@ -334,7 +334,7 @@ func (g *generator) makeBehaviors() {
 	wsWeights := []int{3, 3, 2}
 	seen := make(map[KernelKind]int)
 	for i := 0; i < n; i++ {
-		kind := KernelKind(g.rng.pick(kindWeights))
+		kind := KernelKind(g.rng.Pick(kindWeights))
 		if i == 0 && g.spec.MemBound >= 0.75 {
 			// Strongly memory-bound benchmarks always carry a vast
 			// (all-miss) behaviour — their defining phase.
@@ -346,7 +346,7 @@ func (g *generator) makeBehaviors() {
 			kind = KernelKind((int(kind) + 1) % NumKernelKinds)
 		}
 		seen[kind]++
-		ws := wsChoices[g.rng.pick(wsWeights)]
+		ws := wsChoices[g.rng.Pick(wsWeights)]
 		// Sequential and random array kernels must be able to re-cover
 		// their footprint within one warm-up interval.
 		if kind == KStream || kind == KChase || kind == KMix {
@@ -456,10 +456,10 @@ func (g *generator) makeSchedule() []scheduledPhase {
 	}
 	for i := 0; i < 3; i++ {
 		out = append(out, scheduledPhase{
-			behavior:   g.rng.intn(len(g.behaviors)),
-			variant:    g.rng.intn(2),
+			behavior:   g.rng.Intn(len(g.behaviors)),
+			variant:    g.rng.Intn(2),
 			transition: TransFull,
-			Budget:     initBudget/3 + uint64(g.rng.intn(int(g.interval))),
+			Budget:     initBudget/3 + uint64(g.rng.Intn(int(g.interval))),
 			segment:    0,
 		})
 	}
@@ -476,7 +476,7 @@ func (g *generator) makeSchedule() []scheduledPhase {
 	weights := make([]float64, segments)
 	var wsum float64
 	for i := range weights {
-		w := 0.5 + float64(g.rng.intn(1000))/1000.0
+		w := 0.5 + float64(g.rng.Intn(1000))/1000.0
 		if i < prefixSegs {
 			w = 0.01 * float64(segments) // compressed prefix segments
 		}
@@ -487,16 +487,16 @@ func (g *generator) makeSchedule() []scheduledPhase {
 	// Behaviour sequence: random walk, avoiding long same-behaviour runs.
 	prev := -1
 	for s := 0; s < segments; s++ {
-		bi := g.rng.intn(len(g.behaviors))
+		bi := g.rng.Intn(len(g.behaviors))
 		if bi == prev && len(g.behaviors) > 1 {
-			bi = (bi + 1 + g.rng.intn(len(g.behaviors)-1)) % len(g.behaviors)
+			bi = (bi + 1 + g.rng.Intn(len(g.behaviors)-1)) % len(g.behaviors)
 		}
 		prev = bi
 		segBudget := uint64(float64(remaining) * weights[s] / wsum)
 		if segBudget < 2*g.interval {
 			segBudget = 2 * g.interval
 		}
-		subs := 1 + g.rng.intn(3)
+		subs := 1 + g.rng.Intn(3)
 		for sub := 0; sub < subs; sub++ {
 			ph := scheduledPhase{
 				behavior: bi,
@@ -505,10 +505,10 @@ func (g *generator) makeSchedule() []scheduledPhase {
 			}
 			if sub == 0 {
 				ph.transition = TransFull
-				ph.variant = g.rng.intn(2)
-			} else if g.rng.intn(2) == 0 {
+				ph.variant = g.rng.Intn(2)
+			} else if g.rng.Intn(2) == 0 {
 				ph.transition = TransCode
-				ph.variant = 1 - g.rng.intn(2) // may or may not differ; forced below
+				ph.variant = 1 - g.rng.Intn(2) // may or may not differ; forced below
 			} else {
 				ph.transition = TransParam
 				ph.paramShift = sub%2 == 1
@@ -591,7 +591,7 @@ func (g *generator) emitPhase(ph scheduledPhase, ioBuf uint64, cum uint64) {
 	}
 	// Full-width LCG seed: the episode trigger inspects bits 44 and up,
 	// which must be populated from the first iteration.
-	seed := int64(g.rng.next() | 1<<45)
+	seed := int64(g.rng.Next() | 1<<45)
 	c.Movi(14, seed)
 	c.Movi(15, int64(base))
 	c.Movi(16, int64(ws-1))

@@ -1,13 +1,17 @@
 package workload
 
-// rng is a splitmix64 generator. The workload generator must be
+// RNG is a splitmix64 generator. The workload generator must be
 // deterministic across Go releases (benchmark programs are part of the
-// experimental setup), so it does not use math/rand.
-type rng struct{ state uint64 }
+// experimental setup), so it does not use math/rand. It is exported so
+// that other deterministic generators (internal/check's random guest
+// programs) share the same primitive.
+type RNG struct{ state uint64 }
 
-func newRNG(seed uint64) *rng { return &rng{state: seed} }
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
-func (r *rng) next() uint64 {
+// Next returns the next 64-bit value of the stream.
+func (r *RNG) Next() uint64 {
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -15,16 +19,16 @@ func (r *rng) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// intn returns a deterministic value in [0, n).
-func (r *rng) intn(n int) int {
+// Intn returns a deterministic value in [0, n).
+func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		return 0
 	}
-	return int(r.next() % uint64(n))
+	return int(r.Next() % uint64(n))
 }
 
-// pick returns a weighted choice index given non-negative weights.
-func (r *rng) pick(weights []int) int {
+// Pick returns a weighted choice index given non-negative weights.
+func (r *RNG) Pick(weights []int) int {
 	total := 0
 	for _, w := range weights {
 		total += w
@@ -32,7 +36,7 @@ func (r *rng) pick(weights []int) int {
 	if total == 0 {
 		return 0
 	}
-	v := r.intn(total)
+	v := r.Intn(total)
 	for i, w := range weights {
 		if v < w {
 			return i
@@ -42,9 +46,9 @@ func (r *rng) pick(weights []int) int {
 	return len(weights) - 1
 }
 
-// seedFromName derives a stable 64-bit seed from a benchmark name
+// SeedFromName derives a stable 64-bit seed from a benchmark name
 // (FNV-1a).
-func seedFromName(name string) uint64 {
+func SeedFromName(name string) uint64 {
 	h := uint64(0xcbf29ce484222325)
 	for i := 0; i < len(name); i++ {
 		h ^= uint64(name[i])

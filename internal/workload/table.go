@@ -95,7 +95,7 @@ func Names() []string {
 }
 
 // Seed returns the deterministic generator seed for the benchmark.
-func (s Spec) Seed() uint64 { return seedFromName(s.Name) }
+func (s Spec) Seed() uint64 { return SeedFromName(s.Name) }
 
 // Segments derives the number of macro-phases from the paper's simpoint
 // count: benchmarks with more simpoints have more program phases. The

@@ -252,24 +252,24 @@ func TestDefaultIntervalLen(t *testing.T) {
 func TestSeedStability(t *testing.T) {
 	// Seeds are part of the experimental setup: changing them silently
 	// would change every generated benchmark.
-	if seedFromName("gzip") != seedFromName("gzip") {
+	if SeedFromName("gzip") != SeedFromName("gzip") {
 		t.Fatal("seed not deterministic")
 	}
-	if seedFromName("gzip") == seedFromName("vpr") {
+	if SeedFromName("gzip") == SeedFromName("vpr") {
 		t.Fatal("seed collision")
 	}
 }
 
 func TestRNGPick(t *testing.T) {
-	r := newRNG(1)
+	r := NewRNG(1)
 	counts := make([]int, 3)
 	for i := 0; i < 3000; i++ {
-		counts[r.pick([]int{1, 2, 1})]++
+		counts[r.Pick([]int{1, 2, 1})]++
 	}
 	if counts[1] < counts[0] || counts[1] < counts[2] {
 		t.Fatalf("weighted pick ignored weights: %v", counts)
 	}
-	if r.pick([]int{0, 0}) != 0 {
+	if r.Pick([]int{0, 0}) != 0 {
 		t.Fatal("zero weights must fall back to 0")
 	}
 }
