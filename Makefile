@@ -1,7 +1,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke diffcheck golden-update ci
+.PHONY: all build vet test race fuzz-smoke diffcheck golden-update bench bench-smoke ci
 
 all: build
 
@@ -31,5 +31,18 @@ diffcheck:
 
 golden-update:
 	$(GO) test ./internal/experiments -run TestGolden -update
+
+# Cold/warm checkpoint-store wall-clock comparison (writes BENCH_pr2.json
+# at the repo root), then the full go benchmark suite.
+bench:
+	$(GO) run ./cmd/ckptbench -o BENCH_pr2.json
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Bounded benchmark sanity pass for CI: tiny scale, one iteration, and
+# the ckptbench report to stdout instead of a file.
+bench-smoke:
+	$(GO) run ./cmd/ckptbench -scale 2000 -bench gzip,mcf -o -
+	REPRO_SCALE=500 $(GO) test -run '^$$' \
+		-bench 'BenchmarkRunner(Cold|Warm)Cache|BenchmarkSnapshotEncode' -benchtime 1x .
 
 ci: vet build race fuzz-smoke diffcheck

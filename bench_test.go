@@ -23,6 +23,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/power"
@@ -330,6 +331,79 @@ func BenchmarkTimingDetail(b *testing.B) {
 		executed += n
 	}
 	b.ReportMetric(float64(executed)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// ---- Checkpoint store: cold vs warm evaluation sweeps. ----
+
+// ckptPolicies is the sweep used by the cold/warm cache benchmarks:
+// several Dynamic configurations whose functional prefixes overlap, so
+// checkpoints deposited by one policy warm-start the others.
+func ckptPolicies() []sampling.Policy {
+	return []sampling.Policy{
+		sampling.NewDynamic(vm.MetricCPU, 300, 1, 0),
+		sampling.NewDynamic(vm.MetricCPU, 500, 1, 0),
+		sampling.NewDynamic(vm.MetricEXC, 300, 1, 0),
+	}
+}
+
+func ckptRunner(store *ckpt.Store) *experiments.Runner {
+	return experiments.NewRunner(experiments.Options{
+		Scale:      benchScale(),
+		Benchmarks: []string{"gzip", "mcf"},
+		CkptStore:  store,
+		CkptStride: 1,
+	})
+}
+
+// BenchmarkRunnerColdCache measures a full policy sweep against an empty
+// checkpoint store: every run pays for its own functional fast-forwards
+// (minus intra-sweep sharing) and deposits as it goes.
+func BenchmarkRunnerColdCache(b *testing.B) {
+	policies := ckptPolicies()
+	for i := 0; i < b.N; i++ {
+		if _, err := ckptRunner(ckpt.NewMemory()).RunAll(policies); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerWarmCache measures the same sweep against a store
+// primed by a previous identical sweep, as when re-running an evaluation
+// after a policy tweak: fast-forwards become checkpoint restores. The
+// cache-equivalence tests pin that the results are bit-identical either
+// way; BENCH_pr2.json records the ratio (acceptance floor: 2x).
+func BenchmarkRunnerWarmCache(b *testing.B) {
+	policies := ckptPolicies()
+	store := ckpt.NewMemory()
+	if _, err := ckptRunner(store).RunAll(policies); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh Runner each iteration defeats the Runner's own result
+		// memoisation; only the checkpoint store is warm.
+		if _, err := ckptRunner(store).RunAll(policies); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotEncode measures the serialized-snapshot encode rate
+// (the disk store's write path).
+func BenchmarkSnapshotEncode(b *testing.B) {
+	spec, _ := workload.ByName("gzip")
+	img, _ := workload.BuildScaled(spec, 20_000)
+	m := vm.New(vm.Config{})
+	m.Load(img)
+	m.Run(500_000, nil)
+	snap := m.Snapshot()
+	b.SetBytes(snap.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // ---- Extensions beyond the paper's evaluation. ----

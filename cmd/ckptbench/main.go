@@ -1,0 +1,159 @@
+// Command ckptbench measures the host wall-clock effect of the
+// checkpoint store on experiments.Runner.RunAll and emits a small JSON
+// report (BENCH_pr2.json by default).
+//
+// Three passes run the same Dynamic-heavy policy set over the same
+// benchmark subset:
+//
+//	off   checkpointing disabled (the pre-store baseline)
+//	cold  a fresh store: pays every deposit, hits nothing
+//	warm  the same store again: all canonical fast intervals and
+//	      fast-forwards restore instead of re-executing
+//
+// Results are bit-identical across all three passes (the cache-
+// equivalence tests in internal/check and internal/experiments pin
+// this); only wall-clock differs. The report records the three
+// timings, the warm-vs-cold speedup, and the store's hit/miss
+// counters so regressions in either direction are visible.
+//
+// Usage:
+//
+//	ckptbench [-scale N] [-bench LIST] [-stride K] [-dir DIR] [-o FILE]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/experiments"
+	"repro/internal/sampling"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+type report struct {
+	Date        string     `json:"date"`
+	Scale       int        `json:"scale"`
+	Stride      uint64     `json:"ckpt_stride"`
+	Benchmarks  []string   `json:"benchmarks"`
+	Policies    []string   `json:"policies"`
+	OffSeconds  float64    `json:"off_seconds"`
+	ColdSeconds float64    `json:"cold_seconds"`
+	WarmSeconds float64    `json:"warm_seconds"`
+	WarmSpeedup float64    `json:"warm_speedup_vs_cold"`
+	Store       ckpt.Stats `json:"store"`
+}
+
+func main() {
+	scale := flag.Int("scale", 20_000, "workload scale divisor")
+	bench := flag.String("bench", "gzip,mcf,art,equake", "comma-separated benchmark subset (\"all\" = every benchmark)")
+	stride := flag.Uint64("stride", 1, "checkpoint deposit stride in base intervals (0 = auto)")
+	dir := flag.String("dir", "", "persist checkpoints to this directory (default in-memory)")
+	out := flag.String("o", "BENCH_pr2.json", "output JSON path (\"-\" = stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the warm pass to this file")
+	flag.Parse()
+
+	benches := strings.Split(*bench, ",")
+	if *bench == "all" {
+		benches = workload.Names()
+	}
+	for i := range benches {
+		benches[i] = strings.TrimSpace(benches[i])
+	}
+
+	// Dynamic sampling is the store's best customer: high-sensitivity
+	// configurations spend almost the whole budget in canonical
+	// functional intervals, exactly the work a warm store replaces with
+	// restores. The four variants share every checkpoint because the
+	// key is (workload, hash, scale, instr), not policy.
+	policies := []sampling.Policy{
+		sampling.NewDynamic(vm.MetricCPU, 300, 1, 0),
+		sampling.NewDynamic(vm.MetricCPU, 500, 1, 0),
+		sampling.NewDynamic(vm.MetricEXC, 300, 1, 0),
+		sampling.NewDynamic(vm.MetricIO, 300, 1, 0),
+	}
+	names := make([]string, len(policies))
+	for i, p := range policies {
+		names[i] = p.Name()
+	}
+
+	runAll := func(opts experiments.Options) (time.Duration, *experiments.Runner) {
+		r := experiments.NewRunner(opts)
+		start := time.Now()
+		if _, err := r.RunAll(policies); err != nil {
+			fmt.Fprintln(os.Stderr, "ckptbench:", err)
+			os.Exit(1)
+		}
+		return time.Since(start), r
+	}
+
+	base := experiments.Options{Scale: *scale, Benchmarks: benches, CkptStride: *stride}
+
+	offOpts := base
+	offOpts.CkptOff = true
+	offDur, _ := runAll(offOpts)
+	fmt.Fprintf(os.Stderr, "off:  %v\n", offDur)
+
+	store, err := ckpt.New(ckpt.Options{Dir: *dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckptbench:", err)
+		os.Exit(1)
+	}
+	withStore := base
+	withStore.CkptStore = store
+	coldDur, _ := runAll(withStore)
+	fmt.Fprintf(os.Stderr, "cold: %v  %s\n", coldDur, store.Stats())
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ckptbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
+	warmDur, _ := runAll(withStore)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	st := store.Stats()
+	fmt.Fprintf(os.Stderr, "warm: %v  %s\n", warmDur, st)
+
+	rep := report{
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		Scale:       *scale,
+		Stride:      *stride,
+		Benchmarks:  benches,
+		Policies:    names,
+		OffSeconds:  offDur.Seconds(),
+		ColdSeconds: coldDur.Seconds(),
+		WarmSeconds: warmDur.Seconds(),
+		Store:       st,
+	}
+	if warmDur > 0 {
+		rep.WarmSpeedup = float64(coldDur) / float64(warmDur)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckptbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "ckptbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ckptbench: warm RunAll %.2fx faster than cold (off %.2fs, cold %.2fs, warm %.2fs)\n",
+		rep.WarmSpeedup, rep.OffSeconds, rep.ColdSeconds, rep.WarmSeconds)
+}

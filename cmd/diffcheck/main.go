@@ -8,12 +8,17 @@
 //
 // Modes:
 //
-//	all       every program-level check per seed, then policy determinism
-//	lockstep  fast-mode vs event-mode lockstep differencing only
-//	snapshot  snapshot/restore round-trip check only
-//	replay    same-partitioning replay determinism only
-//	chunks    chunk-partitioning agreement only
-//	policies  sampling-policy determinism only (no generated programs)
+//	all        every program-level check per seed, then policy determinism
+//	lockstep   fast-mode vs event-mode lockstep differencing only
+//	snapshot   snapshot/restore round-trip check only
+//	serialize  serialized (WriteTo/ReadSnapshot) round-trip check only
+//	replay     same-partitioning replay determinism only
+//	chunks     chunk-partitioning agreement only
+//	policies   sampling-policy determinism only (no generated programs)
+//
+// The -ckpt flag additionally replays every policy with the checkpoint
+// store off, cold, and warmed, requiring bit-identical results each
+// time (the cache-equivalence check).
 //
 // Program checks run seeds seed..seed+n-1. Any divergence is reported
 // with the first differing field and a disassembled window around the
@@ -37,7 +42,8 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "first generator seed")
 		n     = flag.Uint64("n", 100, "number of generated programs to check")
 		chunk = flag.Uint64("chunk", 0, "sync-point granularity in instructions (0 = default 509)")
-		mode  = flag.String("mode", "all", "all|lockstep|snapshot|replay|chunks|policies")
+		mode  = flag.String("mode", "all", "all|lockstep|snapshot|serialize|replay|chunks|policies")
+		ckpt  = flag.Bool("ckpt", false, "also run the checkpoint cache-equivalence check per benchmark")
 		scale = flag.Int("scale", 50_000, "benchmark scale divisor for policy determinism")
 		bench = flag.String("bench", "gzip,mcf", "comma-separated benchmarks for policy determinism (\"all\" = every benchmark)")
 		verb  = flag.Bool("v", false, "report every seed, not just failures")
@@ -50,7 +56,7 @@ func main() {
 	}
 
 	runPrograms := *mode != "policies"
-	runPolicies := *mode == "all" || *mode == "policies"
+	runPolicies := *mode == "all" || *mode == "policies" || *ckpt
 	var totalInstr uint64
 
 	if runPrograms {
@@ -91,9 +97,22 @@ func main() {
 			if *verb {
 				fmt.Printf("policies on %s: deterministic at scale %d\n", b, *scale)
 			}
+			if *ckpt {
+				if err := check.CheckpointEquivalence(b, opts, nil); err != nil {
+					fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+					os.Exit(1)
+				}
+				if *verb {
+					fmt.Printf("checkpoint equivalence on %s: ok at scale %d\n", b, *scale)
+				}
+			}
 		}
 		fmt.Printf("diffcheck: policy determinism ok (%s at scale %d)\n",
 			strings.Join(benches, ", "), *scale)
+		if *ckpt {
+			fmt.Printf("diffcheck: checkpoint equivalence ok (%s at scale %d)\n",
+				strings.Join(benches, ", "), *scale)
+		}
 	}
 }
 
@@ -111,12 +130,14 @@ func checkSeed(seed uint64, o check.Options, mode string) (*check.ProgramReport,
 		div, rep.Instr, err = check.Lockstep(prog, o)
 	case "snapshot":
 		div, err = check.SnapshotRoundTrip(prog, o)
+	case "serialize":
+		div, err = check.SerializedRoundTrip(prog, o)
 	case "replay":
 		div, err = check.ReplayDeterminism(prog, o)
 	case "chunks":
 		div, err = check.ChunkAgreement(prog, o, 0)
 	default:
-		return nil, nil, fmt.Errorf("unknown -mode %q (want all|lockstep|snapshot|replay|chunks|policies)", mode)
+		return nil, nil, fmt.Errorf("unknown -mode %q (want all|lockstep|snapshot|serialize|replay|chunks|policies)", mode)
 	}
 	return rep, div, err
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/hostcost"
 	"repro/internal/sampling"
@@ -33,6 +34,8 @@ func main() {
 	prof := flag.Bool("prof", false, "simpoint: charge the profiling pass (SimPoint+prof)")
 	scale := flag.Int("scale", 2000, "workload scale divisor")
 	baseline := flag.Bool("baseline", false, "also run full timing and report error/speedup")
+	ckptDir := flag.String("ckpt-dir", "", "persist checkpoints to this directory (warm-starts later runs)")
+	ckptStride := flag.Uint64("ckpt-stride", 0, "checkpoint deposit stride in base intervals (0 = auto)")
 	flag.Parse()
 
 	spec, err := workload.ByName(*bench)
@@ -61,7 +64,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := core.Options{Scale: *scale}
+	opts := core.Options{Scale: *scale, CkptStride: *ckptStride}
+	var store *ckpt.Store
+	if *ckptDir != "" {
+		store, err = ckpt.New(ckpt.Options{Dir: *ckptDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim:", err)
+			os.Exit(1)
+		}
+		opts.Ckpt = store
+	}
 	s := core.NewSession(spec, opts)
 	res, err := p.Run(s)
 	if err != nil {
@@ -89,5 +101,9 @@ func main() {
 			base.EstIPC, hostcost.FormatDuration(base.Cost.PaperSeconds))
 		fmt.Printf("accuracy error %.2f%%\n", res.ErrorVs(base)*100)
 		fmt.Printf("speedup        %.1fx\n", res.Speedup(base))
+	}
+
+	if store != nil {
+		fmt.Printf("checkpoints    %s\n", store.Stats())
 	}
 }

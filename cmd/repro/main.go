@@ -33,9 +33,18 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent simulations (default: NumCPU)")
 	quiet := flag.Bool("q", false, "suppress per-run progress output")
 	csvDir := flag.String("csv", "", "also export figure data as CSV files into this directory")
+	ckptDir := flag.String("ckpt-dir", "", "persist checkpoints to this directory (warm-starts later runs)")
+	ckptStride := flag.Uint64("ckpt-stride", 0, "checkpoint deposit stride in base intervals (0 = auto)")
+	noCkpt := flag.Bool("no-ckpt", false, "disable the warm-start checkpoint cache")
 	flag.Parse()
 
-	opts := experiments.Options{Scale: *scale, Parallelism: *parallel}
+	opts := experiments.Options{
+		Scale:       *scale,
+		Parallelism: *parallel,
+		CkptDir:     *ckptDir,
+		CkptStride:  *ckptStride,
+		CkptOff:     *noCkpt,
+	}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
@@ -92,5 +101,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("CSV data written to %s\n", *csvDir)
+	}
+
+	if st, ok := r.CkptStats(); ok && !*quiet {
+		fmt.Fprintf(os.Stderr, "checkpoint store: %s\n", st)
 	}
 }

@@ -189,6 +189,33 @@ func (im *Image) AddSegment(base uint64, words []uint64) {
 	im.Segments = append(im.Segments, Segment{Base: base, Words: words})
 }
 
+// Digest returns an FNV-1a hash of the image: entry point plus every
+// segment's base and words, in segment order. Two images digest equally
+// iff they load identical guest state, so the checkpoint store uses
+// this as the workload-identity component of its keys.
+func (im *Image) Digest() uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * i) & 0xff
+			h *= prime
+		}
+	}
+	mix(im.Entry)
+	for _, s := range im.Segments {
+		mix(s.Base)
+		mix(uint64(len(s.Words)))
+		for _, w := range s.Words {
+			mix(w)
+		}
+	}
+	return h
+}
+
 // Bytes returns the total initialised size of the image in bytes.
 func (im *Image) Bytes() uint64 {
 	var n uint64

@@ -132,6 +132,11 @@ func CheckProgram(seed uint64, o Options) (*ProgramReport, *Divergence, error) {
 	}
 	rep.Checks = append(rep.Checks, "snapshot-roundtrip")
 
+	if div, err := SerializedRoundTrip(prog, o); div != nil || err != nil {
+		return nil, div, err
+	}
+	rep.Checks = append(rep.Checks, "serialized-roundtrip")
+
 	if div, err := ReplayDeterminism(prog, o); div != nil || err != nil {
 		return nil, div, err
 	}

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -19,8 +20,8 @@ func TestCheckProgramManySeeds(t *testing.T) {
 		if div != nil {
 			t.Fatalf("seed %d:\n%v", seed, div)
 		}
-		if len(rep.Checks) != 4 {
-			t.Fatalf("seed %d: ran %v, want 4 checks", seed, rep.Checks)
+		if len(rep.Checks) != 5 {
+			t.Fatalf("seed %d: ran %v, want 5 checks", seed, rep.Checks)
 		}
 	}
 }
@@ -153,8 +154,10 @@ func TestLockstepReportsInjectedRegisterFault(t *testing.T) {
 // translation cache keeps executing the stale translation. The injector
 // patches the probe slot in BOTH machines' memory without telling
 // either translation cache (Populate bypasses SMC detection), then
-// silently flushes only the fast machine's cache via a
-// snapshot/restore round-trip, which retranslates. The fast machine
+// silently drops only the fast machine's translations by restoring a
+// *serialized* snapshot round-trip (a deserialized snapshot carries
+// block PCs only, so the restore re-decodes them from the patched
+// memory image). The fast machine
 // picks up the new code, the event machine keeps running the stale
 // block — exactly what a skipped invalidation does — and the differ
 // must report the resulting architectural divergence. The probe slot
@@ -173,7 +176,21 @@ func TestLockstepReportsMissedTCInvalidation(t *testing.T) {
 			injected = true
 			fast.Mem().Populate(prog.ProbeSlot, patched)
 			event.Mem().Populate(prog.ProbeSlot, patched)
-			fast.Restore(fast.Snapshot()) // silent TC flush: fast retranslates
+			// Serialize/deserialize so the restore re-decodes every
+			// block from the patched memory: fast retranslates.
+			var buf bytes.Buffer
+			if _, err := fast.Snapshot().WriteTo(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			snap, err := vm.ReadSnapshot(&buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fast.Restore(snap); err != nil {
+				t.Error(err)
+			}
 		}
 	}
 	div, _, err := Lockstep(prog, o)
@@ -192,6 +209,13 @@ func TestLockstepReportsMissedTCInvalidation(t *testing.T) {
 func TestPolicyDeterminism(t *testing.T) {
 	t.Parallel()
 	if err := PolicyDeterminism("gzip", core.Options{Scale: 50_000}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointEquivalencePolicies(t *testing.T) {
+	t.Parallel()
+	if err := CheckpointEquivalence("gzip", core.Options{Scale: 50_000}, nil); err != nil {
 		t.Fatal(err)
 	}
 }

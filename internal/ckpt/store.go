@@ -1,0 +1,396 @@
+// Package ckpt is the persistent checkpoint store behind the warm-start
+// execution cache. It maps (workload name, workload hash, scale,
+// instruction count) to full VM snapshots, holding recently-used
+// entries in memory under an LRU byte budget and, optionally, mirroring
+// every deposit to an on-disk directory so checkpoints survive the
+// process (the paper's methodology likewise restores stored SimNow
+// snapshots rather than re-executing prefixes).
+//
+// Correctness stance: the store is a pure cache. A hit must be
+// indistinguishable from cold execution (core.Session enforces the
+// sharing discipline; internal/vm makes restores stats-exact), and any
+// disk-level corruption — truncated file, flipped byte, stale version —
+// is detected by the snapshot digest footer and degrades to a miss,
+// never to a panic or a silently-restored corrupt state.
+package ckpt
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// Key identifies one checkpoint: a workload-identity triple plus the
+// guest instruction count the snapshot was taken at.
+type Key struct {
+	// Workload is the benchmark name (human-readable disk filenames).
+	Workload string
+	// Hash is the workload-identity hash: guest image digest mixed with
+	// the budget, interval, and every VM-configuration field that
+	// affects the execution trajectory. Two sessions with equal hashes
+	// execute identical instruction streams.
+	Hash uint64
+	// Scale is the workload scale divisor (redundant with Hash, kept
+	// explicit for filenames and debugging).
+	Scale int
+	// Instr is the guest instruction count at the checkpoint.
+	Instr uint64
+}
+
+// series is the key minus the instruction count: the identity of one
+// execution trajectory.
+type series struct {
+	workload string
+	hash     uint64
+	scale    int
+}
+
+func (k Key) series() series { return series{k.Workload, k.Hash, k.Scale} }
+
+// String renders the key (and names the on-disk file for it).
+func (k Key) String() string {
+	return fmt.Sprintf("%s-%016x-%d-%d", k.Workload, k.Hash, k.Scale, k.Instr)
+}
+
+// Options configures a Store.
+type Options struct {
+	// MaxBytes bounds the in-memory entries' total estimated size
+	// (default 512 MiB). The most recently used entries are kept.
+	MaxBytes int64
+	// Dir, when non-empty, persists every deposit to this directory and
+	// serves misses from it. Created if absent.
+	Dir string
+}
+
+// Stats counts store activity; cmd/ckptbench reports them in
+// BENCH_pr2.json.
+type Stats struct {
+	Hits          uint64 // exact-key lookups served (memory or disk)
+	Misses        uint64 // exact-key lookups that found nothing
+	NearestHits   uint64 // nearest-≤ lookups served
+	NearestMisses uint64 // nearest-≤ lookups that found nothing
+	Puts          uint64 // deposits of new keys
+	DupPuts       uint64 // deposits of already-present keys (dropped)
+	Evictions     uint64 // in-memory entries dropped by the LRU budget
+	DiskLoads     uint64 // snapshots deserialized from Dir
+	DiskWrites    uint64 // snapshots serialized to Dir
+	DiskErrors    uint64 // corrupt/unreadable files degraded to misses
+	Entries       int    // current in-memory entries
+	DiskEntries   int    // current on-disk entries
+	Bytes         int64  // current in-memory estimated bytes
+}
+
+type entry struct {
+	key  Key
+	snap *vm.Snapshot
+}
+
+// Store is a content-addressed checkpoint cache, safe for concurrent
+// use. Disk reads and writes happen under the store lock — simple and
+// correct; the store is consulted between simulation intervals, never
+// inside the VM's hot loop.
+type Store struct {
+	mu    sync.Mutex
+	opts  Options
+	mem   map[Key]*list.Element // value: *entry
+	lru   *list.List            // front = most recently used
+	bytes int64
+	// refs counts, per guest page, how many in-memory entries share its
+	// storage. Snapshots of one trajectory share unmodified pages
+	// copy-on-write, so charging each entry its full SizeBytes would
+	// overstate residency by orders of magnitude and thrash the LRU;
+	// instead a page is charged when its refcount rises from zero and
+	// refunded when it falls back.
+	refs  map[*mem.Page]int
+	disk  map[Key]bool
+	stats Stats
+}
+
+// New creates a store. With Options.Dir set, the directory is created
+// if needed and existing checkpoint files are indexed (not loaded);
+// files with unparseable names are ignored.
+func New(opts Options) (*Store, error) {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 512 << 20
+	}
+	s := &Store{
+		opts: opts,
+		mem:  make(map[Key]*list.Element),
+		lru:  list.New(),
+		refs: make(map[*mem.Page]int),
+		disk: make(map[Key]bool),
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("ckpt: %w", err)
+		}
+		ents, err := os.ReadDir(opts.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: %w", err)
+		}
+		for _, e := range ents {
+			if k, ok := parseFilename(e.Name()); ok {
+				s.disk[k] = true
+			}
+		}
+	}
+	return s, nil
+}
+
+// NewMemory creates an in-memory store with default options.
+func NewMemory() *Store {
+	s, err := New(Options{})
+	if err != nil {
+		panic(err) // unreachable: no Dir, no I/O
+	}
+	return s
+}
+
+// parseFilename inverts Key.String()+".ckpt".
+func parseFilename(name string) (Key, bool) {
+	base, ok := strings.CutSuffix(name, ".ckpt")
+	if !ok {
+		return Key{}, false
+	}
+	parts := strings.Split(base, "-")
+	if len(parts) < 4 {
+		return Key{}, false
+	}
+	n := len(parts)
+	hash, err1 := strconv.ParseUint(parts[n-3], 16, 64)
+	scale, err2 := strconv.Atoi(parts[n-2])
+	instr, err3 := strconv.ParseUint(parts[n-1], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Key{}, false
+	}
+	return Key{
+		Workload: strings.Join(parts[:n-3], "-"),
+		Hash:     hash,
+		Scale:    scale,
+		Instr:    instr,
+	}, true
+}
+
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.opts.Dir, k.String()+".ckpt")
+}
+
+// Contains reports whether the store holds the key, in memory or on
+// disk, without loading anything.
+func (s *Store) Contains(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.mem[k]; ok {
+		return true
+	}
+	return s.disk[k]
+}
+
+// Lookup returns the snapshot for an exact key. Snapshots are shared,
+// immutable values: callers must only Restore from them, never mutate.
+func (s *Store) Lookup(k Key) (*vm.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap := s.lookupLocked(k); snap != nil {
+		s.stats.Hits++
+		return snap, true
+	}
+	s.stats.Misses++
+	return nil, false
+}
+
+// lookupLocked serves k from memory or disk, returning nil on miss.
+func (s *Store) lookupLocked(k Key) *vm.Snapshot {
+	if el, ok := s.mem[k]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*entry).snap
+	}
+	if !s.disk[k] {
+		return nil
+	}
+	snap, err := s.loadLocked(k)
+	if err != nil {
+		// Corrupt or vanished file: degrade to a miss, drop the index
+		// entry so we don't retry every lookup.
+		s.stats.DiskErrors++
+		delete(s.disk, k)
+		return nil
+	}
+	s.insertLocked(k, snap)
+	return snap
+}
+
+func (s *Store) loadLocked(k Key) (*vm.Snapshot, error) {
+	f, err := os.Open(s.path(k))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snap, err := vm.ReadSnapshot(f)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Instructions() != k.Instr {
+		return nil, fmt.Errorf("ckpt: %s holds instr %d", k, snap.Instructions())
+	}
+	s.stats.DiskLoads++
+	return snap, nil
+}
+
+// Nearest returns the stored snapshot with the largest instruction
+// count ≤ k.Instr in k's series, along with its instruction count.
+func (s *Store) Nearest(k Key) (*vm.Snapshot, uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser := k.series()
+	for {
+		best := uint64(0)
+		found := false
+		for mk := range s.mem {
+			if mk.series() == ser && mk.Instr <= k.Instr && (!found || mk.Instr > best) {
+				best, found = mk.Instr, true
+			}
+		}
+		for dk := range s.disk {
+			if dk.series() == ser && dk.Instr <= k.Instr && (!found || dk.Instr > best) {
+				best, found = dk.Instr, true
+			}
+		}
+		if !found {
+			s.stats.NearestMisses++
+			return nil, 0, false
+		}
+		bk := k
+		bk.Instr = best
+		if snap := s.lookupLocked(bk); snap != nil {
+			s.stats.NearestHits++
+			return snap, best, true
+		}
+		// The best candidate was a corrupt disk entry (now dropped);
+		// try the next-lower one.
+	}
+}
+
+// Put deposits a snapshot under k. Deposits of an existing key are
+// dropped: the sharing discipline guarantees any two snapshots for the
+// same key encode identical state.
+func (s *Store) Put(k Key, snap *vm.Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.mem[k]; ok {
+		s.stats.DupPuts++
+		return
+	}
+	onDisk := s.disk[k]
+	s.stats.Puts++
+	s.insertLocked(k, snap)
+	if s.opts.Dir != "" && !onDisk {
+		if err := s.writeLocked(k, snap); err != nil {
+			s.stats.DiskErrors++
+		} else {
+			s.stats.DiskWrites++
+			s.disk[k] = true
+		}
+	}
+}
+
+// chargeLocked refcounts the snapshot's pages and returns the bytes it
+// adds to the budget: its full estimated size minus pages some other
+// in-memory entry already pays for.
+func (s *Store) chargeLocked(snap *vm.Snapshot) int64 {
+	size := snap.SizeBytes()
+	for _, p := range snap.MemPages() {
+		s.refs[p]++
+		if s.refs[p] > 1 {
+			size -= mem.PageBytes
+		}
+	}
+	return size
+}
+
+// refundLocked releases the snapshot's page references and returns the
+// bytes freed: its full estimated size minus pages still referenced by
+// surviving entries. Charge/refund pair exactly: the budget attributes
+// each shared page to whichever entry remains.
+func (s *Store) refundLocked(snap *vm.Snapshot) int64 {
+	size := snap.SizeBytes()
+	for _, p := range snap.MemPages() {
+		s.refs[p]--
+		if s.refs[p] > 0 {
+			size -= mem.PageBytes
+		} else {
+			delete(s.refs, p)
+		}
+	}
+	return size
+}
+
+// insertLocked adds k to the in-memory tier and enforces the LRU
+// budget (never evicting the entry just inserted).
+func (s *Store) insertLocked(k Key, snap *vm.Snapshot) {
+	e := &entry{key: k, snap: snap}
+	el := s.lru.PushFront(e)
+	s.mem[k] = el
+	s.bytes += s.chargeLocked(snap)
+	for s.bytes > s.opts.MaxBytes && s.lru.Len() > 1 {
+		back := s.lru.Back()
+		if back == el {
+			break
+		}
+		victim := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.mem, victim.key)
+		s.bytes -= s.refundLocked(victim.snap)
+		s.stats.Evictions++
+	}
+}
+
+// writeLocked persists a snapshot atomically: temp file, then rename.
+// Concurrent writers of the same key are harmless — the encoding is
+// deterministic, so both temp files hold identical bytes and either
+// rename wins.
+func (s *Store) writeLocked(k Key, snap *vm.Snapshot) error {
+	f, err := os.CreateTemp(s.opts.Dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := snap.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), s.path(k)); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.lru.Len()
+	st.DiskEntries = len(s.disk)
+	st.Bytes = s.bytes
+	return st
+}
+
+// String summarises the store for CLI output.
+func (st Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d nearest=%d puts=%d dup=%d evict=%d mem=%d/%dB disk=%d (loads=%d writes=%d errors=%d)",
+		st.Hits, st.Misses, st.NearestHits, st.Puts, st.DupPuts, st.Evictions,
+		st.Entries, st.Bytes, st.DiskEntries, st.DiskLoads, st.DiskWrites, st.DiskErrors)
+}

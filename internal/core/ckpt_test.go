@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/hostcost"
+	"repro/internal/workload"
+)
+
+// ckptSession builds a session for the named benchmark with the given
+// store attached (nil = checkpointing off).
+func ckptSession(t *testing.T, store *ckpt.Store) *Session {
+	t.Helper()
+	spec, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSession(spec, Options{Scale: 200_000, Ckpt: store})
+}
+
+// canonicalRun drives a session through the canonical partitioning a
+// real policy uses — fast intervals with a timed interval every fourth —
+// and returns the final VM stats plus the accumulated cost report.
+func canonicalRun(s *Session) (interface{}, hostcost.Report) {
+	L := s.IntervalLen()
+	for i := 0; !s.Done(); i++ {
+		if i%4 == 3 {
+			s.RunTimed(L)
+		} else {
+			s.RunFast(L)
+		}
+	}
+	return s.Machine().Stats(), s.Meter().Report(s.Scale())
+}
+
+// TestSessionCheckpointEquivalence is the session-level half of the
+// cache-equivalence guarantee: identical results with the store off,
+// fresh, or pre-warmed — and the warmed run must actually hit.
+func TestSessionCheckpointEquivalence(t *testing.T) {
+	coldStats, coldCost := canonicalRun(ckptSession(t, nil))
+
+	store := ckpt.NewMemory()
+	freshStats, freshCost := canonicalRun(ckptSession(t, store))
+	if store.Stats().Puts == 0 {
+		t.Fatal("store-attached run deposited nothing")
+	}
+	if freshStats != coldStats {
+		t.Fatalf("fresh-store run diverged:\n got %+v\nwant %+v", freshStats, coldStats)
+	}
+	if freshCost != coldCost {
+		t.Fatalf("fresh-store cost diverged:\n got %+v\nwant %+v", freshCost, coldCost)
+	}
+
+	warmStats, warmCost := canonicalRun(ckptSession(t, store))
+	if hits := store.Stats().Hits; hits == 0 {
+		t.Fatal("warmed run never hit the store (vacuous equivalence)")
+	}
+	if warmStats != coldStats {
+		t.Fatalf("warm-store run diverged:\n got %+v\nwant %+v", warmStats, coldStats)
+	}
+	if warmCost != coldCost {
+		t.Fatalf("warm-store cost diverged:\n got %+v\nwant %+v", warmCost, coldCost)
+	}
+}
+
+// TestSessionNonCanonicalAbstains pins the sharing discipline: after one
+// unaligned Run call a session neither deposits nor consumes, so
+// policies with coarse or irregular partitioning run exactly as they
+// would without a store.
+func TestSessionNonCanonicalAbstains(t *testing.T) {
+	store := ckpt.NewMemory()
+	s := ckptSession(t, store)
+	s.RunFast(s.IntervalLen() / 2) // unaligned: off the canonical path
+	for !s.Done() {
+		if s.RunFast(s.IntervalLen()) == 0 {
+			break
+		}
+	}
+	if st := store.Stats(); st.Puts != 0 || st.Hits != 0 {
+		t.Fatalf("non-canonical session touched the store: %+v", st)
+	}
+}
+
+// TestFastForwardViaMatchesFree proves the checkpoint dispatch path is
+// invisible to results: fast-forwarding through a store (depositing on
+// the way, then resuming from it) leaves the session at the same
+// architectural state and charges nothing, exactly like RunFastFree.
+func TestFastForwardViaMatchesFree(t *testing.T) {
+	ref := ckptSession(t, nil)
+	target := 10 * ref.IntervalLen()
+	ref.RunFastFree(target)
+	refUnits := ref.Meter().Report(ref.Scale()).Units
+
+	store := ckpt.NewMemory()
+	a := ckptSession(t, store)
+	if ex := a.FastForwardVia(nil, target); ex != target {
+		t.Fatalf("fast-forward advanced %d, want %d", ex, target)
+	}
+	if store.Stats().Puts == 0 {
+		t.Fatal("fast-forward walk deposited nothing")
+	}
+
+	b := ckptSession(t, store)
+	if ex := b.FastForwardVia(nil, target); ex != target {
+		t.Fatalf("warm fast-forward advanced %d, want %d", ex, target)
+	}
+	if store.Stats().NearestHits == 0 {
+		t.Fatal("warm fast-forward did not resume from the store")
+	}
+
+	for _, s := range []*Session{a, b} {
+		if s.Machine().PC() != ref.Machine().PC() || s.Machine().Reg(5) != ref.Machine().Reg(5) {
+			t.Fatal("fast-forward diverged from free run architecturally")
+		}
+		if got := s.Meter().Report(s.Scale()).Units; got != refUnits {
+			t.Fatalf("fast-forward charged %v units, free run %v", got, refUnits)
+		}
+	}
+	// The warm session restored state bit-exactly, stats included.
+	if a.Machine().Stats() != b.Machine().Stats() {
+		t.Fatalf("warm resume stats diverged:\n got %+v\nwant %+v",
+			b.Machine().Stats(), a.Machine().Stats())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/asm"
+	"repro/internal/ckpt"
 	"repro/internal/hostcost"
 	"repro/internal/timing"
 	"repro/internal/vm"
@@ -38,6 +39,15 @@ type Options struct {
 	VM vm.Config
 	// Costs overrides the host-cost table when non-nil.
 	Costs *hostcost.CostTable
+	// Ckpt attaches a checkpoint store, shared across sessions: the
+	// session deposits snapshots at canonical interval boundaries and
+	// transparently resumes fast-mode intervals from stored state.
+	// Results and modelled paper cost are unchanged (see ckpt.go); only
+	// host wall-clock shrinks. Nil disables checkpointing.
+	Ckpt *ckpt.Store
+	// CkptStride is the deposit stride in base intervals (default 1:
+	// every interval boundary).
+	CkptStride uint64
 }
 
 func (o *Options) setDefaults() {
@@ -63,6 +73,12 @@ type Session struct {
 	executed uint64
 	lastMode hostcost.Mode
 	feedback bool
+
+	// Checkpoint participation (see ckpt.go).
+	ckpt      *ckpt.Store
+	ckptEvery uint64 // deposit stride in instructions
+	wlHash    uint64 // workload-identity hash for checkpoint keys
+	canonical bool   // still on the canonical interval partitioning
 }
 
 // NewSession builds a session for one suite benchmark.
@@ -85,6 +101,21 @@ func NewSession(spec workload.Spec, opts Options) *Session {
 		interval: interval,
 		meter:    hostcost.NewMeter(costTable(opts)),
 		img:      img,
+	}
+	if opts.Ckpt != nil {
+		stride := opts.CkptStride
+		if stride == 0 {
+			// Default: bound the deposit count per workload (~32) so the
+			// snapshot-copy overhead stays a small fraction of execution
+			// regardless of how many intervals the budget spans.
+			stride = 1
+			if n := total / interval; n > 32 {
+				stride = n / 32
+			}
+		}
+		s.ckpt = opts.Ckpt
+		s.ckptEvery = stride * interval
+		s.wlHash = workloadHash(img.Digest(), total, interval, opts.VM)
 	}
 	s.resetMachines()
 	return s
@@ -116,6 +147,7 @@ func (s *Session) resetMachines() {
 	s.core = timing.NewCore(s.timingConfig())
 	s.executed = 0
 	s.lastMode = hostcost.Fast
+	s.canonical = true
 	if s.feedback {
 		s.EnableTimingFeedback()
 	}
@@ -220,17 +252,27 @@ func (s *Session) ResetMeter() {
 // charged (by the caller, via Meter().ChargeRestore).
 func (s *Session) RunFastFree(n uint64) uint64 {
 	n = s.clamp(n)
+	s.noteRun(n)
 	ex := s.machine.Run(n, nil)
 	s.executed += ex
+	s.maybeDeposit()
 	return ex
 }
 
-// RunFast executes up to n instructions at full VM speed.
+// RunFast executes up to n instructions at full VM speed. With a
+// checkpoint store attached, a canonical aligned interval whose end
+// state is already stored is satisfied by a restore instead of
+// execution (bit-identical state and statistics, identical charge).
 func (s *Session) RunFast(n uint64) uint64 {
 	n = s.clamp(n)
+	s.noteRun(n)
+	if s.fastHit(n) {
+		return n
+	}
 	ex := s.machine.Run(n, nil)
 	s.executed += ex
 	s.charge(hostcost.Fast, ex)
+	s.maybeDeposit()
 	return ex
 }
 
@@ -239,9 +281,11 @@ func (s *Session) RunFast(n uint64) uint64 {
 // timing is modelled (SMARTS's inter-unit mode).
 func (s *Session) RunFuncWarm(n uint64) uint64 {
 	n = s.clamp(n)
+	s.noteRun(n)
 	ex := s.machine.Run(n, s.core.WarmSink())
 	s.executed += ex
 	s.charge(hostcost.FuncWarm, ex)
+	s.maybeDeposit()
 	return ex
 }
 
@@ -250,9 +294,11 @@ func (s *Session) RunFuncWarm(n uint64) uint64 {
 // sample).
 func (s *Session) RunDetailWarm(n uint64) uint64 {
 	n = s.clamp(n)
+	s.noteRun(n)
 	ex := s.machine.Run(n, s.core)
 	s.executed += ex
 	s.charge(hostcost.DetailWarm, ex)
+	s.maybeDeposit()
 	return ex
 }
 
@@ -260,10 +306,12 @@ func (s *Session) RunDetailWarm(n uint64) uint64 {
 // returns the measured IPC of the interval.
 func (s *Session) RunTimed(n uint64) (ipc float64, executed uint64) {
 	n = s.clamp(n)
+	s.noteRun(n)
 	from := s.core.Marker()
 	ex := s.machine.Run(n, s.core)
 	s.executed += ex
 	s.charge(hostcost.Timing, ex)
+	s.maybeDeposit()
 	return timing.IPC(from, s.core.Marker()), ex
 }
 
@@ -271,9 +319,11 @@ func (s *Session) RunTimed(n uint64) (ipc float64, executed uint64) {
 // caller-supplied profiler (charged at BBV-profiling cost).
 func (s *Session) RunProfile(n uint64, sink vm.Sink) uint64 {
 	n = s.clamp(n)
+	s.noteRun(n)
 	ex := s.machine.Run(n, sink)
 	s.executed += ex
 	s.charge(hostcost.BBVProfile, ex)
+	s.maybeDeposit()
 	return ex
 }
 
@@ -281,9 +331,11 @@ func (s *Session) RunProfile(n uint64, sink vm.Sink) uint64 {
 // arbitrary sink at plain event-generation cost (used by diagnostics).
 func (s *Session) RunEvents(n uint64, sink vm.Sink) uint64 {
 	n = s.clamp(n)
+	s.noteRun(n)
 	ex := s.machine.Run(n, sink)
 	s.executed += ex
 	s.charge(hostcost.Event, ex)
+	s.maybeDeposit()
 	return ex
 }
 

@@ -22,7 +22,14 @@ func TestGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration render is slow")
 	}
-	r := NewRunner(Options{Scale: 50_000, Benchmarks: []string{"gzip", "perlbmk"}})
+	opts := Options{Scale: 50_000, Benchmarks: []string{"gzip", "perlbmk"}}
+	// CI's cache-equivalence job points REPRO_CKPT_DIR at a shared
+	// directory: the golden bytes must be identical with checkpoints
+	// persisted and restored across test processes.
+	if dir := os.Getenv("REPRO_CKPT_DIR"); dir != "" {
+		opts.CkptDir = dir
+	}
+	r := NewRunner(opts)
 	renders := []struct {
 		name string
 		run  func(*bytes.Buffer) error

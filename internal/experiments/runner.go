@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/sampling"
 	"repro/internal/simpoint"
@@ -30,6 +31,19 @@ type Options struct {
 	Parallelism int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// CkptStore shares a checkpoint store across all sessions. When nil
+	// (and CkptOff is false) the runner creates one: on-disk under
+	// CkptDir if set, in-memory otherwise. Results are bit-identical
+	// with the store on, off, or pre-warmed (the cache-equivalence
+	// tests pin this); the store only shortens host wall-clock.
+	CkptStore *ckpt.Store
+	// CkptOff disables checkpointing entirely.
+	CkptOff bool
+	// CkptDir persists checkpoints to a directory, surviving the
+	// process and warm-starting later runs.
+	CkptDir string
+	// CkptStride is the deposit stride in base intervals (default 1).
+	CkptStride uint64
 }
 
 func (o *Options) setDefaults() {
@@ -58,6 +72,15 @@ type Runner struct {
 // NewRunner creates a Runner.
 func NewRunner(opts Options) *Runner {
 	opts.setDefaults()
+	if opts.CkptStore == nil && !opts.CkptOff {
+		st, err := ckpt.New(ckpt.Options{Dir: opts.CkptDir})
+		if err != nil {
+			// Checkpointing is a pure cache: an unusable directory
+			// degrades to an in-memory store, never a failed run.
+			st = ckpt.NewMemory()
+		}
+		opts.CkptStore = st
+	}
 	return &Runner{
 		opts:     opts,
 		results:  make(map[string]map[string]sampling.Result),
@@ -74,7 +97,20 @@ func (r *Runner) Options() Options { return r.opts }
 func (r *Runner) Benchmarks() []string { return r.opts.Benchmarks }
 
 func (r *Runner) sessionOptions() core.Options {
-	return core.Options{Scale: r.opts.Scale}
+	return core.Options{
+		Scale:      r.opts.Scale,
+		Ckpt:       r.opts.CkptStore,
+		CkptStride: r.opts.CkptStride,
+	}
+}
+
+// CkptStats reports the shared checkpoint store's counters; ok is false
+// when checkpointing is off.
+func (r *Runner) CkptStats() (ckpt.Stats, bool) {
+	if r.opts.CkptStore == nil {
+		return ckpt.Stats{}, false
+	}
+	return r.opts.CkptStore.Stats(), true
 }
 
 func (r *Runner) progress(format string, args ...interface{}) {
@@ -232,7 +268,11 @@ func measureSimPoints(s *core.Session, an simpoint.Analysis, p simpoint.Policy) 
 			warmStart = 0
 		}
 		if warmStart > s.Executed() {
-			s.RunFastFree(warmStart - s.Executed())
+			// Dispatch to the simulation point: resume from the nearest
+			// stored checkpoint when one exists, free either way. The
+			// modelled cost is the fixed restore overhead below, charged
+			// identically whether or not the store had a hit.
+			s.FastForwardVia(nil, warmStart)
 		}
 		s.Meter().ChargeRestore()
 		if target > s.Executed() {

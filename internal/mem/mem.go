@@ -9,7 +9,10 @@
 // an index, and a bounds check.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 const (
 	// PageShift is log2 of the guest page size (4 KB, as in Table 1).
@@ -23,9 +26,16 @@ const (
 // Page is the storage for one guest page.
 type Page [WordsPerPage]uint64
 
-// Memory is a demand-paged flat guest address space.
+// Memory is a demand-paged flat guest address space. Snapshots are
+// copy-on-write: Snapshot and Restore share page storage with the
+// memory and seal the shared pages; the next guest write to a sealed
+// page copies it first. Checkpointing therefore costs O(pages) pointer
+// work plus one page copy per page actually dirtied afterwards, not a
+// full copy of the resident set.
 type Memory struct {
 	pages     []*Page
+	sealed    []bool   // page is shared with a snapshot: copy before write
+	live      []uint64 // vpns of materialised pages (unordered, no duplicates)
 	spanBytes uint64
 	allocated int
 }
@@ -36,6 +46,7 @@ func New(spanBytes uint64) *Memory {
 	npages := (spanBytes + PageBytes - 1) / PageBytes
 	return &Memory{
 		pages:     make([]*Page, npages),
+		sealed:    make([]bool, npages),
 		spanBytes: npages * PageBytes,
 	}
 }
@@ -75,6 +86,8 @@ func (m *Memory) Write64(addr, v uint64) (faulted bool) {
 	if p == nil {
 		p = m.materialise(vpn)
 		faulted = true
+	} else if m.sealed[vpn] {
+		p = m.unseal(vpn)
 	}
 	p[addr>>3&(WordsPerPage-1)] = v
 	return faulted
@@ -101,6 +114,8 @@ func (m *Memory) Populate(addr, v uint64) {
 	}
 	if m.pages[vpn] == nil {
 		m.materialise(vpn)
+	} else if m.sealed[vpn] {
+		m.unseal(vpn)
 	}
 	m.pages[vpn][addr>>3&(WordsPerPage-1)] = v
 }
@@ -114,8 +129,18 @@ func (m *Memory) Mapped(addr uint64) bool {
 func (m *Memory) materialise(vpn uint64) *Page {
 	p := new(Page)
 	m.pages[vpn] = p
+	m.live = append(m.live, vpn)
 	m.allocated++
 	return p
+}
+
+// unseal gives the memory a private copy of a page currently shared
+// with one or more snapshots. The snapshots keep the old storage.
+func (m *Memory) unseal(vpn uint64) *Page {
+	cp := *m.pages[vpn]
+	m.pages[vpn] = &cp
+	m.sealed[vpn] = false
+	return &cp
 }
 
 // Digest returns an FNV-1a hash of the materialised memory contents,
@@ -146,36 +171,63 @@ func (m *Memory) Digest() uint64 {
 	return h
 }
 
-// Snapshot captures a deep copy of the allocated pages.
-type Snapshot struct {
-	spanBytes uint64
-	pages     map[uint64]Page
+// pageEntry is one materialised page of a snapshot.
+type pageEntry struct {
+	vpn uint64
+	pg  *Page
 }
 
-// Snapshot returns a deep copy of the current memory contents.
+// Snapshot holds the materialised pages of a memory at one point in
+// time, ascending by vpn. Page storage is shared copy-on-write with the
+// Memory it came from (and with any Memory it is restored into): a
+// snapshot's pages are immutable once captured, because every
+// guest-write path copies a sealed page before mutating it.
+type Snapshot struct {
+	spanBytes uint64
+	pages     []pageEntry // ascending vpn
+}
+
+// Snapshot captures the current memory contents in O(pages · log pages)
+// pointer work: the pages are shared with the snapshot and sealed, and
+// the next write to each one copies it first.
 func (m *Memory) Snapshot() *Snapshot {
-	s := &Snapshot{spanBytes: m.spanBytes, pages: make(map[uint64]Page, m.allocated)}
-	for vpn, p := range m.pages {
-		if p != nil {
-			s.pages[uint64(vpn)] = *p
-		}
+	s := &Snapshot{spanBytes: m.spanBytes, pages: make([]pageEntry, 0, m.allocated)}
+	sort.Slice(m.live, func(i, j int) bool { return m.live[i] < m.live[j] })
+	for _, vpn := range m.live {
+		s.pages = append(s.pages, pageEntry{vpn: vpn, pg: m.pages[vpn]})
+		m.sealed[vpn] = true
 	}
 	return s
 }
 
-// Restore replaces the memory contents with the snapshot. The memory must
-// have been created with the same span.
+// Restore replaces the memory contents with the snapshot, sharing the
+// snapshot's page storage copy-on-write. The memory must have been
+// created with the same span.
 func (m *Memory) Restore(s *Snapshot) error {
 	if s.spanBytes != m.spanBytes {
 		return fmt.Errorf("mem: snapshot span %d != memory span %d", s.spanBytes, m.spanBytes)
 	}
-	for i := range m.pages {
-		m.pages[i] = nil
+	for _, vpn := range m.live {
+		m.pages[vpn] = nil
+		m.sealed[vpn] = false
 	}
-	m.allocated = 0
-	for vpn, pg := range s.pages {
-		p := m.materialise(vpn)
-		*p = pg
+	m.live = m.live[:0]
+	for _, e := range s.pages {
+		m.pages[e.vpn] = e.pg
+		m.sealed[e.vpn] = true
+		m.live = append(m.live, e.vpn)
 	}
+	m.allocated = len(s.pages)
 	return nil
+}
+
+// Pages returns the identities of the pages backing the snapshot. The
+// checkpoint store refcounts them so storage shared between snapshots
+// (copy-on-write pages) is charged against its byte budget once.
+func (s *Snapshot) Pages() []*Page {
+	out := make([]*Page, 0, len(s.pages))
+	for _, e := range s.pages {
+		out = append(out, e.pg)
+	}
+	return out
 }

@@ -106,6 +106,52 @@ func TestSnapshotRestore(t *testing.T) {
 	}
 }
 
+// TestSnapshotCopyOnWriteIsolation pins the sharing discipline behind
+// O(pages) snapshots: page storage is shared between a snapshot, the
+// memory it came from, and any memory restored from it, and a write on
+// any side must never be visible on another.
+func TestSnapshotCopyOnWriteIsolation(t *testing.T) {
+	m := New(1 << 20)
+	for a := uint64(0); a < 4*PageBytes; a += 8 {
+		m.Write64(a, a+1)
+	}
+	snap := m.Snapshot()
+
+	// Writes after the snapshot must not leak into it.
+	m.Write64(0, 0xdead)
+	if got := snap.Peek(0); got != 1 {
+		t.Fatalf("snapshot saw a post-snapshot write: %#x, want 1", got)
+	}
+
+	// A second memory restored from the snapshot shares the same
+	// storage; writes on either memory stay private.
+	m2 := New(1 << 20)
+	if err := m2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	m2.Write64(8, 0xbeef)
+	if v, _ := m.Read64(8); v != 9 {
+		t.Fatalf("write in restored memory leaked into source: %#x, want 9", v)
+	}
+	if got := snap.Peek(8); got != 9 {
+		t.Fatalf("write in restored memory leaked into snapshot: %#x, want 9", got)
+	}
+	m.Write64(16, 0xf00d)
+	if v, _ := m2.Read64(16); v != 17 {
+		t.Fatalf("write in source leaked into restored memory: %#x, want 17", v)
+	}
+
+	// Restoring the snapshot again still yields the pre-write contents.
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 4*PageBytes; a += 8 {
+		if v, _ := m.Read64(a); v != a+1 {
+			t.Fatalf("restored word at %#x = %#x, want %#x", a, v, a+1)
+		}
+	}
+}
+
 func TestRestoreSpanMismatch(t *testing.T) {
 	a, b := New(1<<16), New(1<<20)
 	if err := b.Restore(a.Snapshot()); err == nil {

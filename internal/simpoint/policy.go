@@ -196,7 +196,10 @@ func (p Policy) Run(s *core.Session) (sampling.Result, error) {
 			warmStart = 0
 		}
 		if warmStart > s.Executed() {
-			s.RunFastFree(warmStart - s.Executed())
+			// Dispatch to the simulation point via the checkpoint store
+			// when the session has one; free either way (the modelled
+			// cost is the fixed restore overhead charged below).
+			s.FastForwardVia(nil, warmStart)
 		}
 		s.Meter().ChargeRestore()
 		if target > s.Executed() {

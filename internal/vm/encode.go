@@ -1,0 +1,288 @@
+package vm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Serialized snapshot format (all integers little-endian):
+//
+//	magic    u32  "DSCK"
+//	version  u16  snapVersion
+//	padding  u16  zero
+//	pc, exitCode, halted (u64 each; halted is 0/1)
+//	regs     32 × u64
+//	stats    17 × u64 (the field order of vm.Stats; version-bound)
+//	tlb      u64 count, then entries
+//	phase    u64 count, then (instr, value) pairs
+//	console  device.Console.EncodeTo
+//	disk     device.Block.EncodeTo
+//	memory   mem.Snapshot.EncodeTo
+//	blocks   u64 count, then ascending translation-cache block PCs
+//	footer   u64 FNV-1a over every preceding byte
+//
+// The footer makes corruption — truncation, a flipped bit, a stale
+// version header — detectable before any machine state is restored;
+// ReadSnapshot fails with ErrCorruptSnapshot (or a structural error)
+// and callers fall back to cold execution. The encoding is fully
+// deterministic (maps are emitted in sorted order), so two processes
+// serializing the same machine state produce identical bytes — the
+// checkpoint store relies on this to make concurrent disk writes of
+// the same key idempotent.
+
+const (
+	snapMagic   = 0x4b435344 // "DSCK"
+	snapVersion = 1
+
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+
+	// maxSavedBlocks bounds the block count a decoded snapshot may
+	// claim (far above any real translation-cache capacity).
+	maxSavedBlocks = 1 << 24
+	// maxTLBEntries bounds the TLB size a decoded snapshot may claim.
+	maxTLBEntries = 1 << 26
+)
+
+// ErrCorruptSnapshot reports a serialized snapshot whose digest footer
+// does not match its payload (truncation or bit corruption).
+var ErrCorruptSnapshot = errors.New("vm: corrupt snapshot (digest mismatch)")
+
+// ErrSnapshotVersion reports a serialized snapshot with an unsupported
+// format version.
+var ErrSnapshotVersion = errors.New("vm: unsupported snapshot version")
+
+// fnvWriter hashes every byte written through it with FNV-1a.
+type fnvWriter struct {
+	w io.Writer
+	h uint64
+	n int64
+}
+
+func (f *fnvWriter) Write(p []byte) (int, error) {
+	for _, b := range p {
+		f.h = (f.h ^ uint64(b)) * fnvPrime
+	}
+	n, err := f.w.Write(p)
+	f.n += int64(n)
+	return n, err
+}
+
+// fnvReader hashes every byte read through it with FNV-1a.
+type fnvReader struct {
+	r io.Reader
+	h uint64
+}
+
+func (f *fnvReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	for _, b := range p[:n] {
+		f.h = (f.h ^ uint64(b)) * fnvPrime
+	}
+	return n, err
+}
+
+// writeU64s writes values little-endian through a small batch buffer.
+func writeU64s(w io.Writer, vs []uint64) error {
+	var buf [512]byte
+	for len(vs) > 0 {
+		n := len(vs)
+		if n > len(buf)/8 {
+			n = len(buf) / 8
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], vs[i])
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return err
+		}
+		vs = vs[n:]
+	}
+	return nil
+}
+
+// readU64s fills vs with little-endian values.
+func readU64s(r io.Reader, vs []uint64) error {
+	var buf [512]byte
+	for len(vs) > 0 {
+		n := len(vs)
+		if n > len(buf)/8 {
+			n = len(buf) / 8
+		}
+		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			vs[i] = binary.LittleEndian.Uint64(buf[i*8:])
+		}
+		vs = vs[n:]
+	}
+	return nil
+}
+
+// WriteTo serialises the snapshot; it implements io.WriterTo. The
+// returned count includes the digest footer.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fw := &fnvWriter{w: bw, h: fnvOffset}
+	if err := s.encodePayload(fw); err != nil {
+		return fw.n, err
+	}
+	var foot [8]byte
+	binary.LittleEndian.PutUint64(foot[:], fw.h)
+	n, err := bw.Write(foot[:])
+	total := fw.n + int64(n)
+	if err != nil {
+		return total, err
+	}
+	return total, bw.Flush()
+}
+
+func (s *Snapshot) encodePayload(w io.Writer) error {
+	var head [8]byte
+	binary.LittleEndian.PutUint32(head[0:4], snapMagic)
+	binary.LittleEndian.PutUint16(head[4:6], snapVersion)
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	halted := uint64(0)
+	if s.halted {
+		halted = 1
+	}
+	fixed := make([]uint64, 0, 3+isa.NumRegs)
+	fixed = append(fixed, s.pc, s.exitCode, halted)
+	fixed = append(fixed, s.regs[:]...)
+	if err := writeU64s(w, fixed); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, &s.stats); err != nil {
+		return err
+	}
+	if err := writeU64s(w, []uint64{uint64(len(s.tlb))}); err != nil {
+		return err
+	}
+	if err := writeU64s(w, s.tlb); err != nil {
+		return err
+	}
+	phase := make([]uint64, 0, 1+2*len(s.phaseLog))
+	phase = append(phase, uint64(len(s.phaseLog)))
+	for _, pm := range s.phaseLog {
+		phase = append(phase, pm.Instr, pm.Value)
+	}
+	if err := writeU64s(w, phase); err != nil {
+		return err
+	}
+	if err := s.console.EncodeTo(w); err != nil {
+		return err
+	}
+	if err := s.disk.EncodeTo(w); err != nil {
+		return err
+	}
+	if err := s.mem.EncodeTo(w); err != nil {
+		return err
+	}
+	pcs := make([]uint64, 0, 1+len(s.blocks))
+	pcs = append(pcs, uint64(len(s.blocks)))
+	for _, b := range s.blocks {
+		pcs = append(pcs, b.pc)
+	}
+	return writeU64s(w, pcs)
+}
+
+// ReadSnapshot deserialises a snapshot written by WriteTo, verifying
+// the digest footer. It never panics on malformed input: structural
+// violations (implausible lengths, bad magic, version skew) and digest
+// mismatches all surface as errors, and no partially-decoded snapshot
+// is ever returned.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	fr := &fnvReader{r: bufio.NewReaderSize(r, 1<<16), h: fnvOffset}
+	var head [8]byte
+	if _, err := io.ReadFull(fr, head[:]); err != nil {
+		return nil, fmt.Errorf("vm: snapshot header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(head[0:4]); m != snapMagic {
+		return nil, fmt.Errorf("vm: bad snapshot magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != snapVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrSnapshotVersion, v, snapVersion)
+	}
+	s := &Snapshot{}
+	fixed := make([]uint64, 3+isa.NumRegs)
+	if err := readU64s(fr, fixed); err != nil {
+		return nil, fmt.Errorf("vm: snapshot cpu state: %w", err)
+	}
+	s.pc, s.exitCode, s.halted = fixed[0], fixed[1], fixed[2] != 0
+	copy(s.regs[:], fixed[3:])
+	if err := binary.Read(fr, binary.LittleEndian, &s.stats); err != nil {
+		return nil, fmt.Errorf("vm: snapshot stats: %w", err)
+	}
+	var count [1]uint64
+	if err := readU64s(fr, count[:]); err != nil {
+		return nil, fmt.Errorf("vm: snapshot tlb: %w", err)
+	}
+	if n := count[0]; n == 0 || n > maxTLBEntries || n&(n-1) != 0 {
+		return nil, fmt.Errorf("vm: implausible snapshot TLB size %d", count[0])
+	}
+	s.tlb = make([]uint64, count[0])
+	if err := readU64s(fr, s.tlb); err != nil {
+		return nil, fmt.Errorf("vm: snapshot tlb: %w", err)
+	}
+	if err := readU64s(fr, count[:]); err != nil {
+		return nil, fmt.Errorf("vm: snapshot phase log: %w", err)
+	}
+	if count[0] > maxPhaseLog {
+		return nil, fmt.Errorf("vm: snapshot phase log %d exceeds cap %d", count[0], maxPhaseLog)
+	}
+	if count[0] > 0 {
+		pairs := make([]uint64, 2*count[0])
+		if err := readU64s(fr, pairs); err != nil {
+			return nil, fmt.Errorf("vm: snapshot phase log: %w", err)
+		}
+		s.phaseLog = make([]PhaseMark, count[0])
+		for i := range s.phaseLog {
+			s.phaseLog[i] = PhaseMark{Instr: pairs[2*i], Value: pairs[2*i+1]}
+		}
+	}
+	var err error
+	if s.console, err = device.DecodeConsole(fr); err != nil {
+		return nil, err
+	}
+	if s.disk, err = device.DecodeBlock(fr); err != nil {
+		return nil, err
+	}
+	if s.mem, err = mem.DecodeSnapshot(fr); err != nil {
+		return nil, err
+	}
+	if err := readU64s(fr, count[:]); err != nil {
+		return nil, fmt.Errorf("vm: snapshot blocks: %w", err)
+	}
+	if count[0] > maxSavedBlocks {
+		return nil, fmt.Errorf("vm: snapshot block count %d exceeds cap %d", count[0], maxSavedBlocks)
+	}
+	pcs := make([]uint64, count[0])
+	if err := readU64s(fr, pcs); err != nil {
+		return nil, fmt.Errorf("vm: snapshot blocks: %w", err)
+	}
+	s.blocks = make([]savedBlock, len(pcs))
+	for i, pc := range pcs {
+		s.blocks[i] = savedBlock{pc: pc}
+	}
+	// The footer is read around the hasher: it authenticates the
+	// payload, not itself.
+	want := fr.h
+	var foot [8]byte
+	if _, err := io.ReadFull(fr.r, foot[:]); err != nil {
+		return nil, fmt.Errorf("%w (missing footer)", ErrCorruptSnapshot)
+	}
+	if binary.LittleEndian.Uint64(foot[:]) != want {
+		return nil, ErrCorruptSnapshot
+	}
+	return s, nil
+}

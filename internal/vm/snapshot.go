@@ -1,15 +1,31 @@
 package vm
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/device"
 	"repro/internal/isa"
 	"repro/internal/mem"
 )
 
-// Snapshot is a restorable copy of the complete machine state. The
-// translation cache is intentionally not captured: like a real DBT, the
-// VM retranslates after a restore (the paper's methodology restores an
-// idle-machine snapshot before each benchmark run).
+// savedBlock is one captured translation-cache entry. insts is shared
+// with the live machine's block (decoded instructions are immutable
+// after translation); snapshots read back from their serialized form
+// carry only the PC and re-decode from the restored memory image.
+type savedBlock struct {
+	pc    uint64
+	insts []isa.Inst
+}
+
+// Snapshot is a restorable copy of the complete machine state,
+// including the set of live translation-cache blocks. Capturing the TC
+// makes a restore *stats-exact*: Dynamic Sampling monitors the
+// translation-cache counters, so a checkpoint-resumed run must
+// reproduce the exact counter trajectory of an uninterrupted run, which
+// the previous flush-and-retranslate restore could not. Chain links are
+// not captured — they are a host-side performance shortcut that never
+// affects statistics — and re-form lazily after a restore.
 type Snapshot struct {
 	regs     [isa.NumRegs]uint64
 	pc       uint64
@@ -21,10 +37,22 @@ type Snapshot struct {
 	console  *device.Console
 	disk     *device.Block
 	phaseLog []PhaseMark
+	blocks   []savedBlock // ascending pc
+	// tcStamp is the translation-set identity the blocks were captured
+	// under (see Machine.tcStamp). Deserialized snapshots get a fresh
+	// stamp so they never match a live machine and always rebuild.
+	tcStamp uint64
 }
 
 // Snapshot captures the machine state.
 func (m *Machine) Snapshot() *Snapshot {
+	blocks := make([]savedBlock, 0, m.tcCount)
+	for pc, b := range m.tc {
+		if !b.dead {
+			blocks = append(blocks, savedBlock{pc: pc, insts: b.insts})
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].pc < blocks[j].pc })
 	return &Snapshot{
 		regs:     m.regs,
 		pc:       m.pc,
@@ -36,13 +64,86 @@ func (m *Machine) Snapshot() *Snapshot {
 		console:  m.console.Clone(),
 		disk:     m.disk.Clone(),
 		phaseLog: append([]PhaseMark(nil), m.phaseLog...),
+		blocks:   blocks,
+		tcStamp:  m.tcStamp,
 	}
 }
 
-// Restore rewinds the machine to the snapshot. The translation cache is
-// flushed (without counting invalidations — this is host-side machinery,
-// not guest behaviour).
+// Instructions returns the guest instruction count at the snapshot
+// point; the checkpoint store keys on it.
+func (s *Snapshot) Instructions() uint64 { return s.stats.Instructions }
+
+// MemPages returns the identities of the guest pages backing the
+// snapshot. Pages are copy-on-write storage shared between snapshots of
+// one trajectory; the checkpoint store refcounts them so shared pages
+// count against its byte budget once.
+func (s *Snapshot) MemPages() []*mem.Page { return s.mem.Pages() }
+
+// SizeBytes estimates the in-memory footprint of the snapshot (page
+// images dominate). The checkpoint store's LRU budget accounts with it.
+func (s *Snapshot) SizeBytes() int64 {
+	size := int64(1024) // fixed state: registers, stats, headers
+	size += int64(len(s.tlb)) * 8
+	size += int64(len(s.phaseLog)) * 16
+	size += int64(len(s.console.Tail()))
+	size += int64(s.disk.DirtySectors()) * (device.SectorBytes + 8)
+	size += int64(s.mem.NumPages()) * (mem.PageBytes + 8)
+	size += int64(len(s.blocks)) * 24
+	return size
+}
+
+// Restore rewinds the machine to the snapshot, including statistics and
+// the translation-cache block set. The TC rebuild is silent — no
+// translation or invalidation counters move, because a restore is
+// host-side machinery, not guest behaviour — which is what makes a
+// checkpoint-resumed run's statistics bit-identical to a cold run that
+// executed through the same point.
+//
+// The TLB is reallocated to the snapshot's geometry (a plain copy would
+// silently truncate when the machine was configured with a different
+// TLBEntries than the snapshotted one, leaving a hybrid TLB state no
+// real execution could produce). Blocks from a deserialized snapshot
+// are re-decoded against the snapshot's own memory image before any
+// machine state is mutated, so a corrupt snapshot is rejected whole.
 func (m *Machine) Restore(s *Snapshot) error {
+	if len(s.tlb) == 0 || len(s.tlb)&(len(s.tlb)-1) != 0 {
+		return fmt.Errorf("vm: snapshot TLB size %d is not a power of two", len(s.tlb))
+	}
+	// When the machine's live translation set is the one the snapshot
+	// captured (stamps match — neither side has translated, invalidated,
+	// or flushed since they last agreed), the entire rebuild is skipped:
+	// the existing blocks, page indexes, and chain links are already
+	// exactly the restored state. This is what makes a checkpoint-walk
+	// restore cheaper than re-executing the interval it skips.
+	tcSame := s.tcStamp != 0 && s.tcStamp == m.tcStamp
+	// Snapshots deposited by a live machine share their decoded
+	// translations; for those the live set can be reconciled in place
+	// (delta kills and installs, no teardown). Deserialized snapshots
+	// carry pc-only blocks and take the full rebuild below.
+	reconcile := !tcSame
+	if reconcile {
+		for _, sb := range s.blocks {
+			if sb.insts == nil {
+				reconcile = false
+				break
+			}
+		}
+	}
+	var rebuilt []*block
+	if !tcSame && !reconcile {
+		rebuilt = make([]*block, 0, len(s.blocks))
+		for _, sb := range s.blocks {
+			insts := sb.insts
+			if insts == nil {
+				var err error
+				insts, err = decodeInsts(s.mem.Peek, sb.pc, m.cfg.MaxBlockLen)
+				if err != nil {
+					return fmt.Errorf("vm: snapshot block at pc=%#x: %w", sb.pc, err)
+				}
+			}
+			rebuilt = append(rebuilt, &block{pc: sb.pc, insts: insts})
+		}
+	}
 	if err := m.mem.Restore(s.mem); err != nil {
 		return err
 	}
@@ -51,20 +152,79 @@ func (m *Machine) Restore(s *Snapshot) error {
 	m.halted = s.halted
 	m.exitCode = s.exitCode
 	m.stats = s.stats
-	copy(m.tlb, s.tlb)
+	m.tlb = append(m.tlb[:0], s.tlb...)
+	m.tlbMask = uint64(len(m.tlb) - 1)
 	m.console = s.console.Clone()
 	m.disk = s.disk.Clone()
 	m.phaseLog = append(m.phaseLog[:0], s.phaseLog...)
 
-	// Silent TC flush.
+	if tcSame {
+		return nil
+	}
+	if reconcile {
+		m.reconcileTC(s)
+		m.tcStamp = s.tcStamp
+		return nil
+	}
+	// Silently replace the translation cache with the captured set.
 	for _, b := range m.tc {
 		b.dead = true
 	}
-	m.tc = make(map[uint64]*block)
+	m.tc = make(map[uint64]*block, len(rebuilt))
 	for vpn := range m.pageBlk {
 		m.codePages[vpn] = false
 	}
-	m.pageBlk = make(map[uint64][]*block)
+	m.pageBlk = make(map[uint64][]*block, len(rebuilt))
 	m.tcCount = 0
+	for _, b := range rebuilt {
+		m.installBlock(b)
+	}
+	if s.tcStamp != 0 {
+		m.tcStamp = s.tcStamp
+	} else {
+		// Deserialized snapshot: adopt a fresh identity for the set we
+		// just installed.
+		m.tcStamp = newTCStamp()
+	}
 	return nil
+}
+
+// reconcileTC updates the live translation set in place to exactly the
+// snapshot's captured set, killing live blocks the snapshot lacks and
+// installing the ones it adds. Identity is the shared decoded-
+// instruction storage, so a retranslated block at the same pc is
+// correctly replaced. Dead entries may linger in the map and the page
+// lists, exactly as they do on an organically-run machine; they are
+// invisible to lookups and to every statistic.
+func (m *Machine) reconcileTC(s *Snapshot) {
+	liveBefore := m.tcCount
+	matched := 0
+	for _, sb := range s.blocks {
+		if b, ok := m.tc[sb.pc]; ok && !b.dead {
+			if len(b.insts) == len(sb.insts) && &b.insts[0] == &sb.insts[0] {
+				matched++
+				continue
+			}
+			b.dead = true
+			m.tcCount--
+		}
+		m.installBlock(&block{pc: sb.pc, insts: sb.insts})
+	}
+	if liveBefore == matched {
+		return
+	}
+	// Live blocks remain that the snapshot does not contain.
+	for pc, b := range m.tc {
+		if b.dead {
+			continue
+		}
+		i := sort.Search(len(s.blocks), func(i int) bool { return s.blocks[i].pc >= pc })
+		if i < len(s.blocks) && s.blocks[i].pc == pc &&
+			len(b.insts) == len(s.blocks[i].insts) && &b.insts[0] == &s.blocks[i].insts[0] {
+			continue
+		}
+		b.dead = true
+		delete(m.tc, pc)
+		m.tcCount--
+	}
 }

@@ -20,6 +20,7 @@ package vm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/asm"
 	"repro/internal/device"
@@ -61,6 +62,16 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// Normalized returns the configuration with defaults applied. Every
+// field of the normalized form influences the machine's execution
+// trajectory, so checkpoint keys hash exactly these values: two
+// machines with equal normalized configurations (and equal guest
+// images) execute identical instruction streams.
+func (c Config) Normalized() Config {
+	c.setDefaults()
+	return c
+}
+
 // block is one translation-cache entry: a decoded basic block.
 type block struct {
 	pc    uint64
@@ -97,6 +108,13 @@ type Machine struct {
 	tcCount   int
 	pageBlk   map[uint64][]*block // vpn -> blocks with code on that page
 	codePages []bool              // vpn -> page holds translated code
+	// tcStamp identifies the live translation set. Every mutation
+	// (translate, invalidate, flush) assigns a globally fresh value;
+	// Snapshot records it and Restore adopts it, so a restore whose
+	// target stamp equals the machine's can skip the TC rebuild — the
+	// live set is already bit-identical. Purely host-side: stamps never
+	// influence guest-visible behaviour or statistics.
+	tcStamp uint64
 
 	// Software TLB: direct-mapped, stores vpn+1 (0 = invalid).
 	tlb     []uint64
@@ -119,6 +137,11 @@ type Machine struct {
 // maxPhaseLog bounds the retained phase-mark log.
 const maxPhaseLog = 1 << 20
 
+// tcStampCounter issues globally unique translation-set stamps.
+var tcStampCounter atomic.Uint64
+
+func newTCStamp() uint64 { return tcStampCounter.Add(1) }
+
 // New creates a machine with the given configuration.
 func New(cfg Config) *Machine {
 	cfg.setDefaults()
@@ -131,6 +154,7 @@ func New(cfg Config) *Machine {
 		pageBlk: make(map[uint64][]*block),
 		tlb:     make([]uint64, cfg.TLBEntries),
 		tlbMask: uint64(cfg.TLBEntries - 1),
+		tcStamp: newTCStamp(),
 	}
 	m.codePages = make([]bool, cfg.MemSpan>>mem.PageShift)
 	return m
@@ -199,6 +223,46 @@ func (m *Machine) tlbLookup(vpn uint64) {
 	}
 }
 
+// decodeInsts decodes one basic block starting at pc, reading guest
+// words through peek. It applies exactly the translation rules (length
+// cap, page-end split, block-ending opcodes) but returns an error
+// instead of panicking, so snapshot restores can validate a block set
+// before committing any machine state.
+func decodeInsts(peek func(uint64) uint64, pc uint64, maxLen int) ([]isa.Inst, error) {
+	var insts []isa.Inst
+	addr := pc
+	pageEnd := (pc &^ (mem.PageBytes - 1)) + mem.PageBytes
+	for len(insts) < maxLen && addr < pageEnd {
+		w := peek(addr)
+		in := isa.Decode(w)
+		if !in.WellFormed() {
+			return nil, fmt.Errorf("vm: illegal instruction %#x (%v) at pc=%#x", w, in, addr)
+		}
+		insts = append(insts, in)
+		addr += isa.InstBytes
+		if in.Op.EndsBlock() {
+			break
+		}
+	}
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("vm: empty translation at pc=%#x", pc)
+	}
+	return insts, nil
+}
+
+// installBlock registers a decoded block in the translation cache and
+// on every page it covers (at most two), without touching statistics.
+func (m *Machine) installBlock(b *block) {
+	m.tc[b.pc] = b
+	m.tcCount++
+	first := b.pc >> mem.PageShift
+	last := (b.pc + uint64(len(b.insts))*isa.InstBytes - 1) >> mem.PageShift
+	for vpn := first; vpn <= last; vpn++ {
+		m.pageBlk[vpn] = append(m.pageBlk[vpn], b)
+		m.codePages[vpn] = true
+	}
+}
+
 // translate decodes a basic block starting at pc and installs it in the
 // translation cache.
 func (m *Machine) translate(pc uint64) *block {
@@ -206,34 +270,14 @@ func (m *Machine) translate(pc uint64) *block {
 		m.flushTC()
 	}
 	m.tlbLookup(pc >> mem.PageShift) // instruction-side translation
-	b := &block{pc: pc}
-	addr := pc
-	pageEnd := (pc &^ (mem.PageBytes - 1)) + mem.PageBytes
-	for len(b.insts) < m.cfg.MaxBlockLen && addr < pageEnd {
-		w := m.mem.Peek(addr)
-		in := isa.Decode(w)
-		if !in.WellFormed() {
-			panic(fmt.Sprintf("vm: illegal instruction %#x (%v) at pc=%#x", w, in, addr))
-		}
-		b.insts = append(b.insts, in)
-		addr += isa.InstBytes
-		if in.Op.EndsBlock() {
-			break
-		}
+	insts, err := decodeInsts(m.mem.Peek, pc, m.cfg.MaxBlockLen)
+	if err != nil {
+		panic(err.Error())
 	}
-	if len(b.insts) == 0 {
-		panic(fmt.Sprintf("vm: empty translation at pc=%#x", pc))
-	}
-	m.tc[pc] = b
-	m.tcCount++
+	b := &block{pc: pc, insts: insts}
+	m.installBlock(b)
 	m.stats.TCTranslations++
-	// Register the block on every page it covers (at most two).
-	first := pc >> mem.PageShift
-	last := (addr - 1) >> mem.PageShift
-	for vpn := first; vpn <= last; vpn++ {
-		m.pageBlk[vpn] = append(m.pageBlk[vpn], b)
-		m.codePages[vpn] = true
-	}
+	m.tcStamp = newTCStamp()
 	return b
 }
 
@@ -250,16 +294,21 @@ func (m *Machine) lookup(pc uint64) *block {
 // metric, as in the paper.
 func (m *Machine) invalidatePage(vpn uint64) {
 	blocks := m.pageBlk[vpn]
+	killed := false
 	for _, b := range blocks {
 		if !b.dead {
 			b.dead = true
 			delete(m.tc, b.pc)
 			m.tcCount--
 			m.stats.TCInvalidations++
+			killed = true
 		}
 	}
 	delete(m.pageBlk, vpn)
 	m.codePages[vpn] = false
+	if killed {
+		m.tcStamp = newTCStamp()
+	}
 }
 
 // flushTC performs a Dynamo-style full translation-cache flush.
@@ -275,6 +324,7 @@ func (m *Machine) flushTC() {
 	}
 	m.pageBlk = make(map[uint64][]*block)
 	m.tcCount = 0
+	m.tcStamp = newTCStamp()
 }
 
 // TCBlocks returns the number of live translation-cache blocks.
