@@ -1,7 +1,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke diffcheck golden-update bench bench-smoke ci
+.PHONY: all build vet test race fuzz-smoke diffcheck golden-update bench bench-vm bench-smoke ci
 
 all: build
 
@@ -26,8 +26,10 @@ fuzz-smoke:
 
 # Differential-execution checks over generated guest programs plus
 # sampling-policy determinism (see internal/check and cmd/diffcheck).
+# -batch adds the event-batch invariance sweep: every program and
+# policy re-run across batch capacities {1,3,64,4096}, bit-identical.
 diffcheck:
-	$(GO) run ./cmd/diffcheck -seed 1 -n 200
+	$(GO) run ./cmd/diffcheck -seed 1 -n 200 -batch
 
 golden-update:
 	$(GO) test ./internal/experiments -run TestGolden -update
@@ -38,11 +40,18 @@ bench:
 	$(GO) run ./cmd/ckptbench -o BENCH_pr2.json
 	$(GO) test -run '^$$' -bench . -benchmem .
 
+# Interpreter throughput report: MIPS for fast / event / detail modes
+# and an end-to-end RunAll sweep, vs the recorded pre-batching baseline
+# (writes BENCH_pr3.json at the repo root).
+bench-vm:
+	$(GO) run ./cmd/vmbench -o BENCH_pr3.json
+
 # Bounded benchmark sanity pass for CI: tiny scale, one iteration, and
-# the ckptbench report to stdout instead of a file.
+# the ckptbench/vmbench reports to stdout instead of files.
 bench-smoke:
 	$(GO) run ./cmd/ckptbench -scale 2000 -bench gzip,mcf -o -
+	$(GO) run ./cmd/vmbench -time 200ms -runs 1 -o -
 	REPRO_SCALE=500 $(GO) test -run '^$$' \
-		-bench 'BenchmarkRunner(Cold|Warm)Cache|BenchmarkSnapshotEncode' -benchtime 1x .
+		-bench 'BenchmarkRunner(Cold|Warm)Cache|BenchmarkSnapshotEncode|BenchmarkVM(Fast|Event)Mode|BenchmarkRunAllEndToEnd' -benchtime 1x .
 
 ci: vet build race fuzz-smoke diffcheck

@@ -312,6 +312,60 @@ func BenchmarkVMFastMode(b *testing.B) {
 	b.ReportMetric(float64(executed)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
+// BenchmarkVMEventMode measures the event-generating rate with a cheap
+// batched consumer: the tax every instrumented mode (warming, BBV
+// profiling, tracing) pays on top of fast mode, and the directly
+// optimised path of the batched event pipeline.
+func BenchmarkVMEventMode(b *testing.B) {
+	spec, _ := workload.ByName("gzip")
+	img, _ := workload.BuildScaled(spec, 20_000)
+	m := vm.New(vm.Config{})
+	m.Load(img)
+	sink := &vm.CountingSink{}
+	b.ResetTimer()
+	var executed uint64
+	for i := 0; i < b.N; i++ {
+		n := m.Run(100_000, sink)
+		if n == 0 {
+			m = vm.New(vm.Config{})
+			m.Load(img)
+			n = m.Run(100_000, sink)
+		}
+		executed += n
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkRunAllEndToEnd measures a whole evaluation sweep — full
+// timing plus Dynamic Sampling over two benchmarks — through the real
+// Runner, capturing the blended fast/warm/detail instruction rate an
+// actual reproduction run experiences.
+func BenchmarkRunAllEndToEnd(b *testing.B) {
+	policies := []sampling.Policy{
+		sampling.FullTiming{},
+		sampling.NewDynamic(vm.MetricCPU, 300, 1, 0),
+	}
+	var executed uint64
+	for i := 0; i < b.N; i++ {
+		// A fresh Runner per iteration defeats result memoisation; the
+		// checkpoint store defaults to in-memory and starts cold.
+		r := experiments.NewRunner(experiments.Options{
+			Scale:      benchScale(),
+			Benchmarks: []string{"gzip", "mcf"},
+		})
+		results, err := r.RunAll(policies)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, byPolicy := range results {
+			for _, res := range byPolicy {
+				executed += res.Instructions
+			}
+		}
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
 // BenchmarkTimingDetail measures the detailed-simulation rate.
 func BenchmarkTimingDetail(b *testing.B) {
 	spec, _ := workload.ByName("gzip")

@@ -20,6 +20,12 @@
 // store off, cold, and warmed, requiring bit-identical results each
 // time (the cache-equivalence check).
 //
+// The -batch flag additionally runs the batch-invariance checks: each
+// generated program is re-run per event-batch capacity in
+// check.BatchSizes against a per-event-delivery reference, and every
+// sampling policy is replayed across the same capacities, all required
+// to be bit-identical (the batched event pipeline must be invisible).
+//
 // Program checks run seeds seed..seed+n-1. Any divergence is reported
 // with the first differing field and a disassembled window around the
 // divergence PC, and the exit status is 1; re-running with the printed
@@ -44,6 +50,7 @@ func main() {
 		chunk = flag.Uint64("chunk", 0, "sync-point granularity in instructions (0 = default 509)")
 		mode  = flag.String("mode", "all", "all|lockstep|snapshot|serialize|replay|chunks|policies")
 		ckpt  = flag.Bool("ckpt", false, "also run the checkpoint cache-equivalence check per benchmark")
+		batch = flag.Bool("batch", false, "also run event-batch invariance checks (programs and policies)")
 		scale = flag.Int("scale", 50_000, "benchmark scale divisor for policy determinism")
 		bench = flag.String("bench", "gzip,mcf", "comma-separated benchmarks for policy determinism (\"all\" = every benchmark)")
 		verb  = flag.Bool("v", false, "report every seed, not just failures")
@@ -56,7 +63,7 @@ func main() {
 	}
 
 	runPrograms := *mode != "policies"
-	runPolicies := *mode == "all" || *mode == "policies" || *ckpt
+	runPolicies := *mode == "all" || *mode == "policies" || *ckpt || *batch
 	var totalInstr uint64
 
 	if runPrograms {
@@ -71,6 +78,20 @@ func main() {
 				fmt.Fprintf(os.Stderr, "diffcheck: reproduce with: diffcheck -mode %s -seed %d -n 1 -chunk %d\n",
 					*mode, s, o.Chunk)
 				os.Exit(1)
+			}
+			if *batch {
+				div, err := check.BatchInvariance(check.Generate(s), o)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+					os.Exit(1)
+				}
+				if div != nil {
+					fmt.Fprintf(os.Stderr, "%v\n", div)
+					fmt.Fprintf(os.Stderr, "diffcheck: reproduce with: diffcheck -batch -seed %d -n 1 -chunk %d\n",
+						s, o.Chunk)
+					os.Exit(1)
+				}
+				rep.Checks = append(rep.Checks, "batch-invariance")
 			}
 			totalInstr += rep.Instr
 			if *verb {
@@ -106,12 +127,25 @@ func main() {
 					fmt.Printf("checkpoint equivalence on %s: ok at scale %d\n", b, *scale)
 				}
 			}
+			if *batch {
+				if err := check.PolicyBatchInvariance(b, opts, nil); err != nil {
+					fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+					os.Exit(1)
+				}
+				if *verb {
+					fmt.Printf("policy batch invariance on %s: ok at scale %d\n", b, *scale)
+				}
+			}
 		}
 		fmt.Printf("diffcheck: policy determinism ok (%s at scale %d)\n",
 			strings.Join(benches, ", "), *scale)
 		if *ckpt {
 			fmt.Printf("diffcheck: checkpoint equivalence ok (%s at scale %d)\n",
 				strings.Join(benches, ", "), *scale)
+		}
+		if *batch {
+			fmt.Printf("diffcheck: batch invariance ok (%s at scale %d, batch sizes %v)\n",
+				strings.Join(benches, ", "), *scale, check.BatchSizes)
 		}
 	}
 }

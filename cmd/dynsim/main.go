@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
@@ -36,7 +38,37 @@ func main() {
 	baseline := flag.Bool("baseline", false, "also run full timing and report error/speedup")
 	ckptDir := flag.String("ckpt-dir", "", "persist checkpoints to this directory (warm-starts later runs)")
 	ckptStride := flag.Uint64("ckpt-stride", 0, "checkpoint deposit stride in base intervals (0 = auto)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim:", err)
+		}
+	}()
 
 	spec, err := workload.ByName(*bench)
 	if err != nil {

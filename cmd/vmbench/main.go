@@ -1,0 +1,191 @@
+// Command vmbench measures interpreter throughput in MIPS (million
+// guest instructions per host second) for the three execution modes the
+// paper prices — fast (no events), event-generating (batched sink), and
+// detailed timing — plus an end-to-end evaluation sweep through
+// experiments.Runner, and emits a JSON report (BENCH_pr3.json by
+// default) comparing against the recorded pre-batching baseline.
+//
+// The baseline numbers embedded below were measured on the same
+// benchmark bodies immediately before the batched event pipeline and
+// hot-loop optimizations landed; re-run with -baseline to overwrite
+// them with the current tree's numbers (e.g. when moving to new
+// hardware).
+//
+// Usage:
+//
+//	vmbench [-time 3s] [-runs 3] [-o BENCH_pr3.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sampling"
+	"repro/internal/timing"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// recordedBaseline is the pre-PR throughput on the reference host
+// (single-core x86-64, Go 1.24): per-event sink dispatch, per-
+// retirement Class() calls, no batch buffer.
+var recordedBaseline = modes{
+	Fast:   158.9,
+	Event:  50.18,
+	Detail: 36.03,
+	RunAll: 61.33,
+}
+
+type modes struct {
+	Fast   float64 `json:"fast_minstr_s"`
+	Event  float64 `json:"event_minstr_s"`
+	Detail float64 `json:"detail_minstr_s"`
+	RunAll float64 `json:"runall_minstr_s"`
+}
+
+type report struct {
+	Date        string  `json:"date"`
+	VMScale     int     `json:"vm_scale"`
+	RunAllScale int     `json:"runall_scale"`
+	Baseline    modes   `json:"baseline_pre_batching"`
+	Current     modes   `json:"current"`
+	Speedup     modes   `json:"speedup"`
+	MeasureSecs float64 `json:"seconds_per_measurement"`
+	Runs        int     `json:"runs_best_of"`
+}
+
+// measureVM runs gzip in 100k-instruction slices for at least d and
+// returns Minstr/s. makeSink supplies a fresh sink per machine (nil
+// for fast mode).
+func measureVM(d time.Duration, makeSink func() vm.Sink) float64 {
+	spec, err := workload.ByName("gzip")
+	if err != nil {
+		fatal(err)
+	}
+	img, _ := workload.BuildScaled(spec, 20_000)
+	newM := func() (*vm.Machine, vm.Sink) {
+		m := vm.New(vm.Config{})
+		m.Load(img)
+		var s vm.Sink
+		if makeSink != nil {
+			s = makeSink()
+		}
+		return m, s
+	}
+	m, sink := newM()
+	var executed uint64
+	start := time.Now()
+	for time.Since(start) < d {
+		n := m.Run(100_000, sink)
+		if n == 0 {
+			m, sink = newM()
+			n = m.Run(100_000, sink)
+		}
+		executed += n
+	}
+	return float64(executed) / time.Since(start).Seconds() / 1e6
+}
+
+// measureRunAll times full evaluation sweeps (full timing + Dynamic
+// Sampling over gzip+mcf) through fresh Runners until d has elapsed
+// and returns the blended Minstr/s.
+func measureRunAll(d time.Duration, scale int) float64 {
+	policies := []sampling.Policy{
+		sampling.FullTiming{},
+		sampling.NewDynamic(vm.MetricCPU, 300, 1, 0),
+	}
+	var executed uint64
+	start := time.Now()
+	for time.Since(start) < d {
+		r := experiments.NewRunner(experiments.Options{
+			Scale:      scale,
+			Benchmarks: []string{"gzip", "mcf"},
+		})
+		results, err := r.RunAll(policies)
+		if err != nil {
+			fatal(err)
+		}
+		for _, byPolicy := range results {
+			for _, res := range byPolicy {
+				executed += res.Instructions
+			}
+		}
+	}
+	return float64(executed) / time.Since(start).Seconds() / 1e6
+}
+
+func bestOf(runs int, f func() float64) float64 {
+	best := 0.0
+	for i := 0; i < runs; i++ {
+		if v := f(); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmbench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	per := flag.Duration("time", 3*time.Second, "minimum duration per measurement")
+	runs := flag.Int("runs", 3, "measurements per mode (best is reported)")
+	out := flag.String("o", "BENCH_pr3.json", "output JSON path (\"-\" = stdout)")
+	asBaseline := flag.Bool("baseline", false, "record current numbers as the baseline too")
+	runallScale := flag.Int("runall-scale", 2000, "workload scale for the end-to-end sweep")
+	flag.Parse()
+
+	rep := report{
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		VMScale:     20_000,
+		RunAllScale: *runallScale,
+		Baseline:    recordedBaseline,
+		MeasureSecs: per.Seconds(),
+		Runs:        *runs,
+	}
+
+	fmt.Fprintln(os.Stderr, "vmbench: fast mode...")
+	rep.Current.Fast = bestOf(*runs, func() float64 { return measureVM(*per, nil) })
+	fmt.Fprintln(os.Stderr, "vmbench: event mode (CountingSink)...")
+	rep.Current.Event = bestOf(*runs, func() float64 {
+		return measureVM(*per, func() vm.Sink { return &vm.CountingSink{} })
+	})
+	fmt.Fprintln(os.Stderr, "vmbench: detailed timing...")
+	rep.Current.Detail = bestOf(*runs, func() float64 {
+		return measureVM(*per, func() vm.Sink { return timing.NewCore(timing.DefaultConfig()) })
+	})
+	fmt.Fprintln(os.Stderr, "vmbench: end-to-end RunAll sweep...")
+	rep.Current.RunAll = bestOf(*runs, func() float64 { return measureRunAll(*per, *runallScale) })
+
+	if *asBaseline {
+		rep.Baseline = rep.Current
+	}
+	rep.Speedup = modes{
+		Fast:   rep.Current.Fast / rep.Baseline.Fast,
+		Event:  rep.Current.Event / rep.Baseline.Event,
+		Detail: rep.Current.Detail / rep.Baseline.Detail,
+		RunAll: rep.Current.RunAll / rep.Baseline.RunAll,
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("vmbench: fast %.1f  event %.1f  detail %.1f  runall %.1f Minstr/s (event speedup %.2fx) -> %s\n",
+		rep.Current.Fast, rep.Current.Event, rep.Current.Detail, rep.Current.RunAll,
+		rep.Speedup.Event, *out)
+}

@@ -1,0 +1,148 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// BatchSizes is the standard set of event-batch capacities the batch-
+// invariance checks sweep: a degenerate one-event batch, a small prime
+// that never divides chunk or block lengths evenly, the historical
+// per-event path's natural granularity neighbourhood, and a batch far
+// larger than any chunk so every flush comes from a boundary other
+// than batch-full.
+var BatchSizes = []int{1, 3, 64, 4096}
+
+// BatchInvariance proves the batched event pipeline is invisible: it
+// runs prog on a reference machine whose sink is forced down the
+// legacy per-event adapter (vm.SinkFunc never implements
+// vm.BatchSink), then re-runs it once per entry in BatchSizes with a
+// natively batched sink, in the same o.Chunk partitioning, comparing
+// complete machine state and delivered event counts at every sync
+// point. Any dependence of architectural state, vm.Stats, or the event
+// stream on the batch capacity — a missed flush before a syscall, an
+// event materialised with post-batch state, a dropped tail at Run
+// return — is reported as a Divergence.
+func BatchInvariance(prog *Program, o Options) (*Divergence, error) {
+	o.setDefaults()
+
+	type runner struct {
+		label string
+		m     *vm.Machine
+		count *vm.CountingSink
+		sink  vm.Sink
+	}
+	newRunner := func(label string, batch int, perEvent bool) *runner {
+		cfg := o.VM
+		cfg.EventBatch = batch
+		r := &runner{label: label, m: vm.New(cfg), count: &vm.CountingSink{}}
+		r.m.Load(prog.Image)
+		if perEvent {
+			// SinkFunc deliberately lacks OnEvents, forcing Run through
+			// the perEventSink adapter: this is the legacy delivery
+			// semantics every batched run must match.
+			r.sink = vm.SinkFunc(r.count.OnEvent)
+		} else {
+			r.sink = r.count
+		}
+		return r
+	}
+
+	ref := newRunner("per-event", 0, true)
+	batched := make([]*runner, len(BatchSizes))
+	for i, bs := range BatchSizes {
+		batched[i] = newRunner(fmt.Sprintf("batch=%d", bs), bs, false)
+	}
+
+	var total uint64
+	for step := 0; ; step++ {
+		na := ref.m.Run(o.Chunk, ref.sink)
+		total += na
+		for _, r := range batched {
+			nb := r.m.Run(o.Chunk, r.sink)
+			if na != nb {
+				return &Divergence{
+					Check: "batch-invariance", Seed: prog.Seed, Step: step, Instr: total,
+					Field: "instructions executed in chunk (" + ref.label + " vs " + r.label + ")",
+					A:     fmt.Sprint(na), B: fmt.Sprint(nb),
+					Window: DisasmWindow(ref.m, ref.m.PC(), 6, 6),
+				}, nil
+			}
+			sa := capture(ref.m, o.CompareHostStats)
+			sb := capture(r.m, o.CompareHostStats)
+			if field, av, bv, ok := sa.diff(sb); !ok {
+				return &Divergence{
+					Check: "batch-invariance", Seed: prog.Seed, Step: step, Instr: total,
+					Field: field + " (" + ref.label + " vs " + r.label + ")",
+					A:     av, B: bv,
+					Window: DisasmWindow(ref.m, ref.m.PC(), 6, 6),
+				}, nil
+			}
+			if ref.count.Total != r.count.Total {
+				return &Divergence{
+					Check: "batch-invariance", Seed: prog.Seed, Step: step, Instr: total,
+					Field: "events delivered (" + ref.label + " vs " + r.label + ")",
+					A:     fmt.Sprint(ref.count.Total), B: fmt.Sprint(r.count.Total),
+					Window: DisasmWindow(ref.m, ref.m.PC(), 6, 6),
+				}, nil
+			}
+			for cls := range ref.count.ByClass {
+				if ref.count.ByClass[cls] != r.count.ByClass[cls] {
+					return &Divergence{
+						Check: "batch-invariance", Seed: prog.Seed, Step: step, Instr: total,
+						Field: fmt.Sprintf("class %d events (%s vs %s)", cls, ref.label, r.label),
+						A:     fmt.Sprint(ref.count.ByClass[cls]), B: fmt.Sprint(r.count.ByClass[cls]),
+						Window: DisasmWindow(ref.m, ref.m.PC(), 6, 6),
+					}, nil
+				}
+			}
+		}
+		if ref.m.Halted() {
+			return nil, nil
+		}
+		if na == 0 {
+			return nil, fmt.Errorf("check: batch-invariance stalled at instr %d without halting (seed=%d)", total, prog.Seed)
+		}
+		if total > o.MaxInstr {
+			return nil, fmt.Errorf("check: program did not halt within %d instructions (seed=%d)", o.MaxInstr, prog.Seed)
+		}
+	}
+}
+
+// PolicyBatchInvariance replays a full sampling session per policy once
+// with the default event-batch capacity and once per entry in
+// BatchSizes, and requires every Result to be bit-identical: the batch
+// capacity is host-side plumbing and must never reach an estimate,
+// schedule, detection, or modelled cost. Policies defaults to
+// DefaultPolicies for the benchmark's budget.
+func PolicyBatchInvariance(bench string, opts core.Options, policies []sampling.Policy) error {
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	if policies == nil {
+		policies = DefaultPolicies(spec.ScaledInstr(opts.Scale))
+	}
+	for _, p := range policies {
+		ref, err := p.Run(core.NewSession(spec, opts))
+		if err != nil {
+			return fmt.Errorf("check: %s on %s: %v", p.Name(), bench, err)
+		}
+		for _, bs := range BatchSizes {
+			o := opts
+			o.VM.EventBatch = bs
+			got, err := p.Run(core.NewSession(spec, o))
+			if err != nil {
+				return fmt.Errorf("check: %s on %s (batch=%d): %v", p.Name(), bench, bs, err)
+			}
+			if err := compareResults(ref, got); err != nil {
+				return fmt.Errorf("check: policy %s on %s varies with event batch %d: %v", p.Name(), bench, bs, err)
+			}
+		}
+	}
+	return nil
+}

@@ -234,3 +234,23 @@ func TestDisasmWindowRendersAroundPC(t *testing.T) {
 		t.Fatalf("window too small:\n%s", w)
 	}
 }
+
+func TestBatchInvarianceManySeeds(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(1); seed <= 20; seed++ {
+		div, err := BatchInvariance(Generate(seed), DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if div != nil {
+			t.Fatalf("seed %d:\n%v", seed, div)
+		}
+	}
+}
+
+func TestPolicyBatchInvariance(t *testing.T) {
+	t.Parallel()
+	if err := PolicyBatchInvariance("gzip", core.Options{Scale: 50_000}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,9 +3,12 @@ package experiments
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/vm"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
@@ -61,6 +64,48 @@ func TestGolden(t *testing.T) {
 			if !bytes.Equal(buf.Bytes(), want) {
 				t.Errorf("%s drifted from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
 					c.name, path, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestGoldenBatchInvariance renders the golden artefacts once per
+// event-batch capacity and requires every render to match the golden
+// bytes exactly: the batched event pipeline is host-side plumbing and
+// must be invisible in the paper's tables and figures.
+func TestGoldenBatchInvariance(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("integration render is slow")
+	}
+	for _, bs := range []int{1, 3, 64, 4096} {
+		bs := bs
+		t.Run(fmt.Sprintf("batch=%d", bs), func(t *testing.T) {
+			t.Parallel()
+			opts := Options{
+				Scale:      50_000,
+				Benchmarks: []string{"gzip", "perlbmk"},
+				VM:         vm.Config{EventBatch: bs},
+			}
+			r := NewRunner(opts)
+			for _, c := range []struct {
+				name string
+				run  func(*bytes.Buffer) error
+			}{
+				{"table2", func(b *bytes.Buffer) error { return Table2(r, b) }},
+				{"figure2", func(b *bytes.Buffer) error { return Figure2(r, b) }},
+			} {
+				var buf bytes.Buffer
+				if err := c.run(&buf); err != nil {
+					t.Fatal(err)
+				}
+				want, err := os.ReadFile(filepath.Join("testdata", "golden", c.name+".txt"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Errorf("%s at batch %d differs from golden render", c.name, bs)
+				}
 			}
 		})
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sampling"
 	"repro/internal/simpoint"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -44,6 +45,11 @@ type Options struct {
 	CkptDir string
 	// CkptStride is the deposit stride in base intervals (default 1).
 	CkptStride uint64
+	// VM overrides the VM configuration for every session the runner
+	// builds. Host-side fields only (e.g. vm.Config.EventBatch) may
+	// vary without changing any rendered artifact; the golden
+	// batch-invariance test pins this.
+	VM vm.Config
 }
 
 func (o *Options) setDefaults() {
@@ -99,6 +105,7 @@ func (r *Runner) Benchmarks() []string { return r.opts.Benchmarks }
 func (r *Runner) sessionOptions() core.Options {
 	return core.Options{
 		Scale:      r.opts.Scale,
+		VM:         r.opts.VM,
 		Ckpt:       r.opts.CkptStore,
 		CkptStride: r.opts.CkptStride,
 	}

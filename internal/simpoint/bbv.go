@@ -43,6 +43,14 @@ func (p *Profiler) OnEvent(ev *vm.Event) {
 	p.cur[ev.PC>>6]++
 }
 
+// OnEvents implements vm.BatchSink: basic-block accumulation only
+// reads each event's PC, so the batch is folded in directly.
+func (p *Profiler) OnEvents(evs []vm.Event) {
+	for i := range evs {
+		p.cur[evs[i].PC>>6]++
+	}
+}
+
 // projEntry returns the pseudo-random projection coefficient in [0, 1)
 // for (bucket, dimension), derived by hashing — equivalent to a fixed
 // random matrix without materialising it.

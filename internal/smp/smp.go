@@ -119,7 +119,10 @@ func (s *System) Done() bool {
 
 // run advances every unfinished guest by up to n instructions in
 // round-robin quanta. mode selects the per-guest sink: nil for fast
-// mode, the guest's core for timed mode.
+// mode, the guest's core for timed mode. Cores implement vm.BatchSink,
+// so timed quanta get batched event delivery automatically; each
+// guest's machine owns its own batch buffer, and Run drains it before
+// returning, so round-robin interleaving never mixes guests' events.
 func (s *System) run(n uint64, timed bool) {
 	remaining := make([]uint64, len(s.guests))
 	for i, g := range s.guests {

@@ -200,6 +200,17 @@ func (c *Core) issueOn(pool fuKind, ready uint64, busy int) uint64 {
 	return issue
 }
 
+// OnEvents processes a batch of retired instructions in full detail.
+// It implements vm.BatchSink, so a Core handed to vm.Machine.Run
+// receives events in slices rather than one virtual call per
+// instruction; the model itself is strictly per-instruction, so the
+// result is identical to per-event delivery.
+func (c *Core) OnEvents(evs []vm.Event) {
+	for i := range evs {
+		c.OnEvent(&evs[i])
+	}
+}
+
 // OnEvent processes one retired instruction in full detail. It
 // implements vm.Sink, so a Core can be handed directly to vm.Machine.Run.
 func (c *Core) OnEvent(ev *vm.Event) {
@@ -357,7 +368,15 @@ func (c *Core) OnEvent(ev *vm.Event) {
 type warmSink struct{ c *Core }
 
 // WarmSink returns a vm.Sink that performs functional warming only.
+// The returned sink also implements vm.BatchSink for batched delivery.
 func (c *Core) WarmSink() vm.Sink { return warmSink{c} }
+
+// OnEvents warms from a batch of events.
+func (w warmSink) OnEvents(evs []vm.Event) {
+	for i := range evs {
+		w.OnEvent(&evs[i])
+	}
+}
 
 // OnEvent updates stateful structures without timing.
 func (w warmSink) OnEvent(ev *vm.Event) {

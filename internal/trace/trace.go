@@ -69,6 +69,15 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return &Writer{w: bw, buf: make([]byte, 0, 64)}, nil
 }
 
+// OnEvents implements vm.BatchSink. The delta encoding is strictly
+// sequential over events, so batch delivery produces the identical
+// byte stream to per-event delivery.
+func (t *Writer) OnEvents(evs []vm.Event) {
+	for i := range evs {
+		t.OnEvent(&evs[i])
+	}
+}
+
 // OnEvent implements vm.Sink. Encoding errors are sticky and reported
 // by Close.
 func (t *Writer) OnEvent(ev *vm.Event) {

@@ -15,7 +15,7 @@ import (
 // carry only the PC and re-decode from the restored memory image.
 type savedBlock struct {
 	pc    uint64
-	insts []isa.Inst
+	insts []dinst
 }
 
 // Snapshot is a restorable copy of the complete machine state,
@@ -154,6 +154,11 @@ func (m *Machine) Restore(s *Snapshot) error {
 	m.stats = s.stats
 	m.tlb = append(m.tlb[:0], s.tlb...)
 	m.tlbMask = uint64(len(m.tlb) - 1)
+	// The last-vpn fast path must not claim a hit against the restored
+	// TLB contents on stale evidence; dropping it costs at most one
+	// masked probe and never changes statistics (it only ever skips
+	// probes that are guaranteed hits).
+	m.tlbLast = 0
 	m.console = s.console.Clone()
 	m.disk = s.disk.Clone()
 	m.phaseLog = append(m.phaseLog[:0], s.phaseLog...)

@@ -42,6 +42,12 @@ type Config struct {
 	MaxBlockLen int
 	// DiskSeed seeds the block device's deterministic content.
 	DiskSeed uint64
+	// EventBatch is the event-mode delivery batch capacity in events
+	// (default 256). Purely host-side: the batch size never influences
+	// guest-visible behaviour, statistics, or results — only how many
+	// events each BatchSink.OnEvents call carries — so it is excluded
+	// from checkpoint workload hashes.
+	EventBatch int
 }
 
 func (c *Config) setDefaults() {
@@ -60,22 +66,45 @@ func (c *Config) setDefaults() {
 	if c.MaxBlockLen == 0 {
 		c.MaxBlockLen = 64
 	}
+	if c.EventBatch <= 0 {
+		c.EventBatch = 256
+	}
 }
 
 // Normalized returns the configuration with defaults applied. Every
-// field of the normalized form influences the machine's execution
-// trajectory, so checkpoint keys hash exactly these values: two
-// machines with equal normalized configurations (and equal guest
-// images) execute identical instruction streams.
+// field of the normalized form except EventBatch (a host-side delivery
+// granularity with no guest-visible effect) influences the machine's
+// execution trajectory; checkpoint keys hash exactly those
+// trajectory-relevant values: two machines with equal normalized
+// configurations (and equal guest images) execute identical
+// instruction streams.
 func (c Config) Normalized() Config {
 	c.setDefaults()
 	return c
 }
 
+// dinst is one decoded instruction as stored in a translation-cache
+// block: the architectural fields of isa.Inst plus translate-time
+// precomputations the interpreter hot loop would otherwise re-derive
+// on every retirement — the instruction class, the absolute
+// PC-relative control-transfer target, whether the op terminates the
+// block, and whether its destination is the hardwired zero register.
+type dinst struct {
+	target    uint64 // absolute pc+imm for PC-relative branches/jumps
+	imm       int32
+	op        isa.Op
+	rd        uint8
+	rs1       uint8
+	rs2       uint8
+	cls       isa.Class
+	endsBlock bool
+	clearZero bool // op writes rd and rd is r0: the write is discarded
+}
+
 // block is one translation-cache entry: a decoded basic block.
 type block struct {
 	pc    uint64
-	insts []isa.Inst
+	insts []dinst
 	dead  bool
 	// 1-entry chain: the dominant successor, looked up without touching
 	// the translation-cache map (block chaining / linking).
@@ -119,6 +148,17 @@ type Machine struct {
 	// Software TLB: direct-mapped, stores vpn+1 (0 = invalid).
 	tlb     []uint64
 	tlbMask uint64
+	// tlbLast is a one-entry last-vpn fast path in front of the masked
+	// probe (vpn+1; 0 = invalid). Invariant: when non-zero, the TLB slot
+	// it maps to holds exactly this value, so a repeat access can skip
+	// the probe without missing a refill. It is pure host-side caching:
+	// it never changes which refills are counted.
+	tlbLast uint64
+
+	// batch is the event-mode delivery buffer, allocated once (capacity
+	// cfg.EventBatch) on the first event-mode Run and reused across Run
+	// calls so steady-state event generation allocates nothing.
+	batch []Event
 
 	stats    Stats
 	phaseLog []PhaseMark
@@ -213,23 +253,35 @@ func (m *Machine) Mem() *mem.Memory { return m.mem }
 func (m *Machine) SetTimeSource(f func() uint64) { m.timeSource = f }
 
 // tlbLookup performs a software-TLB access for vpn, counting a refill
-// (an EXC-visible event) on miss.
+// (an EXC-visible event) on miss. A one-entry last-vpn fast path
+// short-circuits the common case of repeated accesses to one page; it
+// is sound because tlbLast is only set right after its slot was
+// verified (or filled), and the only writer of a slot immediately
+// repoints tlbLast at the new occupant, so a cached hit can never hide
+// a refill.
 func (m *Machine) tlbLookup(vpn uint64) {
+	v := vpn + 1
+	if v == m.tlbLast {
+		return
+	}
 	idx := vpn & m.tlbMask
-	if m.tlb[idx] != vpn+1 {
-		m.tlb[idx] = vpn + 1
+	if m.tlb[idx] != v {
+		m.tlb[idx] = v
 		m.stats.TLBRefills++
 		m.stats.Exceptions++
 	}
+	m.tlbLast = v
 }
 
 // decodeInsts decodes one basic block starting at pc, reading guest
 // words through peek. It applies exactly the translation rules (length
 // cap, page-end split, block-ending opcodes) but returns an error
 // instead of panicking, so snapshot restores can validate a block set
-// before committing any machine state.
-func decodeInsts(peek func(uint64) uint64, pc uint64, maxLen int) ([]isa.Inst, error) {
-	var insts []isa.Inst
+// before committing any machine state. The returned instructions carry
+// the translate-time precomputations (class, absolute PC-relative
+// target, exit flags) the interpreter relies on.
+func decodeInsts(peek func(uint64) uint64, pc uint64, maxLen int) ([]dinst, error) {
+	var insts []dinst
 	addr := pc
 	pageEnd := (pc &^ (mem.PageBytes - 1)) + mem.PageBytes
 	for len(insts) < maxLen && addr < pageEnd {
@@ -238,9 +290,20 @@ func decodeInsts(peek func(uint64) uint64, pc uint64, maxLen int) ([]isa.Inst, e
 		if !in.WellFormed() {
 			return nil, fmt.Errorf("vm: illegal instruction %#x (%v) at pc=%#x", w, in, addr)
 		}
-		insts = append(insts, in)
+		cls := in.Op.Class()
+		d := dinst{
+			imm: in.Imm,
+			op:  in.Op, rd: in.Rd, rs1: in.Rs1, rs2: in.Rs2,
+			cls:       cls,
+			endsBlock: in.Op.EndsBlock(),
+			clearZero: in.Op.HasDest() && in.Rd == isa.RegZero,
+		}
+		if cls == isa.ClassBranch || in.Op == isa.OpJmp || in.Op == isa.OpJal {
+			d.target = addr + uint64(int64(in.Imm))
+		}
+		insts = append(insts, d)
 		addr += isa.InstBytes
-		if in.Op.EndsBlock() {
+		if d.endsBlock {
 			break
 		}
 	}
@@ -291,7 +354,10 @@ func (m *Machine) lookup(pc uint64) *block {
 
 // invalidatePage drops every translation overlapping the page (the
 // self-modifying-code path). Each dropped block increments the CPU
-// metric, as in the paper.
+// metric, as in the paper. Blocks spanning into a neighbouring page are
+// also removed from that page's list: without the compaction a dead
+// pointer would stay in the neighbour's slice forever, so SMC-heavy
+// guests would grow pageBlk without bound.
 func (m *Machine) invalidatePage(vpn uint64) {
 	blocks := m.pageBlk[vpn]
 	killed := false
@@ -302,6 +368,13 @@ func (m *Machine) invalidatePage(vpn uint64) {
 			m.tcCount--
 			m.stats.TCInvalidations++
 			killed = true
+			first := b.pc >> mem.PageShift
+			last := (b.pc + uint64(len(b.insts))*isa.InstBytes - 1) >> mem.PageShift
+			for p := first; p <= last; p++ {
+				if p != vpn {
+					m.compactPageBlk(p)
+				}
+			}
 		}
 	}
 	delete(m.pageBlk, vpn)
@@ -309,6 +382,33 @@ func (m *Machine) invalidatePage(vpn uint64) {
 	if killed {
 		m.tcStamp = newTCStamp()
 	}
+}
+
+// compactPageBlk removes dead blocks from page p's list, dropping the
+// list (and the code-page flag, making future stores to p skip the
+// invalidation scan) when no live block remains. Purely host-side
+// bookkeeping: a page with only dead blocks contributes no
+// invalidations either way.
+func (m *Machine) compactPageBlk(p uint64) {
+	blocks, ok := m.pageBlk[p]
+	if !ok {
+		return
+	}
+	live := blocks[:0]
+	for _, b := range blocks {
+		if !b.dead {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		delete(m.pageBlk, p)
+		m.codePages[p] = false
+		return
+	}
+	for i := len(live); i < len(blocks); i++ {
+		blocks[i] = nil // release dead pointers
+	}
+	m.pageBlk[p] = live
 }
 
 // flushTC performs a Dynamo-style full translation-cache flush.
@@ -332,22 +432,59 @@ func (m *Machine) TCBlocks() int { return m.tcCount }
 
 // Run executes up to n guest instructions, stopping early on HALT or
 // SysExit. If sink is non-nil the machine runs in event-generating mode
-// and delivers one Event per retired instruction. Run returns the number
-// of instructions actually executed.
+// and delivers one Event per retired instruction — batched through
+// BatchSink.OnEvents when the sink supports it, adapted to per-event
+// calls otherwise. Run returns the number of instructions actually
+// executed; every buffered event has been delivered by the time it
+// returns.
 //
-// Architectural behaviour is identical in both modes and independent of
-// how a long run is partitioned into Run calls; only translation-cache
-// and instruction-TLB bookkeeping may differ across partitionings
-// (resuming mid-block forces a fresh translation, as in a real DBT).
+// Architectural behaviour is identical in both modes, independent of
+// how a long run is partitioned into Run calls, and independent of the
+// event batch capacity; only translation-cache and instruction-TLB
+// bookkeeping may differ across partitionings (resuming mid-block
+// forces a fresh translation, as in a real DBT).
 func (m *Machine) Run(n uint64, sink Sink) uint64 {
 	if m.halted {
 		return 0
 	}
+	if sink == nil {
+		return m.run(n, nil)
+	}
+	bs, ok := sink.(BatchSink)
+	if !ok {
+		bs = perEventSink{sink}
+	}
+	if cap(m.batch) == 0 {
+		m.batch = make([]Event, 0, m.cfg.EventBatch)
+	}
+	return m.run(n, bs)
+}
+
+// run is the interpreter hot loop shared by both modes: bs is nil in
+// fast mode and a batch-delivering sink in event mode.
+//
+// The event batch is managed through loop locals (batch, bi) so its
+// slice header and fill level stay in registers; m.batch only carries
+// the backing storage between calls, and is always left empty (length
+// zero) on return — every exit path below delivers buffered events
+// first.
+func (m *Machine) run(n uint64, bs BatchSink) uint64 {
 	var executed uint64
-	var ev Event
 	var cur *block
+	var batch []Event
+	bi := 0
+	if bs != nil {
+		batch = m.batch[:cap(m.batch)]
+	}
 	for executed < n {
 		if cur == nil || cur.pc != m.pc || cur.dead {
+			// Leaving translated code for the TC: deliver buffered
+			// events first — translation mutates statistics and can
+			// panic on illegal code.
+			if bi != 0 {
+				bs.OnEvents(batch[:bi])
+				bi = 0
+			}
 			cur = m.lookup(m.pc)
 		}
 		pc := cur.pc
@@ -357,6 +494,10 @@ func (m *Machine) Run(n uint64, sink Sink) uint64 {
 		for i := range insts {
 			if executed == n {
 				m.pc = pc
+				if bi != 0 {
+					bs.OnEvents(batch[:bi])
+					bi = 0
+				}
 				return executed
 			}
 			in := &insts[i]
@@ -364,84 +505,84 @@ func (m *Machine) Run(n uint64, sink Sink) uint64 {
 			var memAddr, target uint64
 			taken := false
 
-			switch in.Op {
+			switch in.op {
 			case isa.OpNop:
 			case isa.OpHalt:
 				m.halted = true
 			case isa.OpAdd:
-				m.regs[in.Rd] = m.regs[in.Rs1] + m.regs[in.Rs2]
+				m.regs[in.rd] = m.regs[in.rs1] + m.regs[in.rs2]
 			case isa.OpSub:
-				m.regs[in.Rd] = m.regs[in.Rs1] - m.regs[in.Rs2]
+				m.regs[in.rd] = m.regs[in.rs1] - m.regs[in.rs2]
 			case isa.OpMul:
-				m.regs[in.Rd] = m.regs[in.Rs1] * m.regs[in.Rs2]
+				m.regs[in.rd] = m.regs[in.rs1] * m.regs[in.rs2]
 			case isa.OpDiv:
-				if d := m.regs[in.Rs2]; d != 0 {
-					m.regs[in.Rd] = uint64(int64(m.regs[in.Rs1]) / int64(d))
+				if d := m.regs[in.rs2]; d != 0 {
+					m.regs[in.rd] = uint64(int64(m.regs[in.rs1]) / int64(d))
 				} else {
-					m.regs[in.Rd] = 0
+					m.regs[in.rd] = 0
 				}
 			case isa.OpAnd:
-				m.regs[in.Rd] = m.regs[in.Rs1] & m.regs[in.Rs2]
+				m.regs[in.rd] = m.regs[in.rs1] & m.regs[in.rs2]
 			case isa.OpOr:
-				m.regs[in.Rd] = m.regs[in.Rs1] | m.regs[in.Rs2]
+				m.regs[in.rd] = m.regs[in.rs1] | m.regs[in.rs2]
 			case isa.OpXor:
-				m.regs[in.Rd] = m.regs[in.Rs1] ^ m.regs[in.Rs2]
+				m.regs[in.rd] = m.regs[in.rs1] ^ m.regs[in.rs2]
 			case isa.OpSll:
-				m.regs[in.Rd] = m.regs[in.Rs1] << (m.regs[in.Rs2] & 63)
+				m.regs[in.rd] = m.regs[in.rs1] << (m.regs[in.rs2] & 63)
 			case isa.OpSrl:
-				m.regs[in.Rd] = m.regs[in.Rs1] >> (m.regs[in.Rs2] & 63)
+				m.regs[in.rd] = m.regs[in.rs1] >> (m.regs[in.rs2] & 63)
 			case isa.OpSra:
-				m.regs[in.Rd] = uint64(int64(m.regs[in.Rs1]) >> (m.regs[in.Rs2] & 63))
+				m.regs[in.rd] = uint64(int64(m.regs[in.rs1]) >> (m.regs[in.rs2] & 63))
 			case isa.OpSlt:
-				if int64(m.regs[in.Rs1]) < int64(m.regs[in.Rs2]) {
-					m.regs[in.Rd] = 1
+				if int64(m.regs[in.rs1]) < int64(m.regs[in.rs2]) {
+					m.regs[in.rd] = 1
 				} else {
-					m.regs[in.Rd] = 0
+					m.regs[in.rd] = 0
 				}
 			case isa.OpSltu:
-				if m.regs[in.Rs1] < m.regs[in.Rs2] {
-					m.regs[in.Rd] = 1
+				if m.regs[in.rs1] < m.regs[in.rs2] {
+					m.regs[in.rd] = 1
 				} else {
-					m.regs[in.Rd] = 0
+					m.regs[in.rd] = 0
 				}
 			case isa.OpAddi:
-				m.regs[in.Rd] = m.regs[in.Rs1] + uint64(int64(in.Imm))
+				m.regs[in.rd] = m.regs[in.rs1] + uint64(int64(in.imm))
 			case isa.OpAndi:
-				m.regs[in.Rd] = m.regs[in.Rs1] & uint64(int64(in.Imm))
+				m.regs[in.rd] = m.regs[in.rs1] & uint64(int64(in.imm))
 			case isa.OpOri:
-				m.regs[in.Rd] = m.regs[in.Rs1] | uint64(int64(in.Imm))
+				m.regs[in.rd] = m.regs[in.rs1] | uint64(int64(in.imm))
 			case isa.OpXori:
-				m.regs[in.Rd] = m.regs[in.Rs1] ^ uint64(int64(in.Imm))
+				m.regs[in.rd] = m.regs[in.rs1] ^ uint64(int64(in.imm))
 			case isa.OpSlli:
-				m.regs[in.Rd] = m.regs[in.Rs1] << (uint32(in.Imm) & 63)
+				m.regs[in.rd] = m.regs[in.rs1] << (uint32(in.imm) & 63)
 			case isa.OpSrli:
-				m.regs[in.Rd] = m.regs[in.Rs1] >> (uint32(in.Imm) & 63)
+				m.regs[in.rd] = m.regs[in.rs1] >> (uint32(in.imm) & 63)
 			case isa.OpSrai:
-				m.regs[in.Rd] = uint64(int64(m.regs[in.Rs1]) >> (uint32(in.Imm) & 63))
+				m.regs[in.rd] = uint64(int64(m.regs[in.rs1]) >> (uint32(in.imm) & 63))
 			case isa.OpSlti:
-				if int64(m.regs[in.Rs1]) < int64(in.Imm) {
-					m.regs[in.Rd] = 1
+				if int64(m.regs[in.rs1]) < int64(in.imm) {
+					m.regs[in.rd] = 1
 				} else {
-					m.regs[in.Rd] = 0
+					m.regs[in.rd] = 0
 				}
 			case isa.OpMovi:
-				m.regs[in.Rd] = uint64(int64(in.Imm))
+				m.regs[in.rd] = uint64(int64(in.imm))
 			case isa.OpMovhi:
-				m.regs[in.Rd] |= uint64(uint32(in.Imm)) << 32
+				m.regs[in.rd] |= uint64(uint32(in.imm)) << 32
 			case isa.OpLd:
-				memAddr = (m.regs[in.Rs1] + uint64(int64(in.Imm))) &^ 7
+				memAddr = (m.regs[in.rs1] + uint64(int64(in.imm))) &^ 7
 				m.tlbLookup(memAddr >> mem.PageShift)
 				v, faulted := m.mem.Read64(memAddr)
 				if faulted {
 					m.stats.PageFaults++
 					m.stats.Exceptions++
 				}
-				m.regs[in.Rd] = v
+				m.regs[in.rd] = v
 				m.stats.MemReads++
 			case isa.OpSt:
-				memAddr = (m.regs[in.Rs1] + uint64(int64(in.Imm))) &^ 7
+				memAddr = (m.regs[in.rs1] + uint64(int64(in.imm))) &^ 7
 				m.tlbLookup(memAddr >> mem.PageShift)
-				if m.mem.Write64(memAddr, m.regs[in.Rs2]) {
+				if m.mem.Write64(memAddr, m.regs[in.rs2]) {
 					m.stats.PageFaults++
 					m.stats.Exceptions++
 				}
@@ -450,50 +591,61 @@ func (m *Machine) Run(n uint64, sink Sink) uint64 {
 					m.invalidatePage(vpn)
 				}
 			case isa.OpBeq:
-				taken = m.regs[in.Rs1] == m.regs[in.Rs2]
+				taken = m.regs[in.rs1] == m.regs[in.rs2]
 			case isa.OpBne:
-				taken = m.regs[in.Rs1] != m.regs[in.Rs2]
+				taken = m.regs[in.rs1] != m.regs[in.rs2]
 			case isa.OpBlt:
-				taken = int64(m.regs[in.Rs1]) < int64(m.regs[in.Rs2])
+				taken = int64(m.regs[in.rs1]) < int64(m.regs[in.rs2])
 			case isa.OpBge:
-				taken = int64(m.regs[in.Rs1]) >= int64(m.regs[in.Rs2])
+				taken = int64(m.regs[in.rs1]) >= int64(m.regs[in.rs2])
 			case isa.OpJmp:
-				target = pc + uint64(int64(in.Imm))
+				target = in.target
 				nextPC = target
 			case isa.OpJal:
-				m.regs[in.Rd] = nextPC
-				target = pc + uint64(int64(in.Imm))
+				m.regs[in.rd] = nextPC
+				target = in.target
 				nextPC = target
 			case isa.OpJalr:
-				t := (m.regs[in.Rs1] + uint64(int64(in.Imm))) &^ 7
-				m.regs[in.Rd] = nextPC
+				t := (m.regs[in.rs1] + uint64(int64(in.imm))) &^ 7
+				m.regs[in.rd] = nextPC
 				target = t
 				nextPC = t
 			case isa.OpFadd:
-				m.regs[in.Rd] = f2b(b2f(m.regs[in.Rs1]) + b2f(m.regs[in.Rs2]))
+				m.regs[in.rd] = f2b(b2f(m.regs[in.rs1]) + b2f(m.regs[in.rs2]))
 			case isa.OpFsub:
-				m.regs[in.Rd] = f2b(b2f(m.regs[in.Rs1]) - b2f(m.regs[in.Rs2]))
+				m.regs[in.rd] = f2b(b2f(m.regs[in.rs1]) - b2f(m.regs[in.rs2]))
 			case isa.OpFmul:
-				m.regs[in.Rd] = f2b(b2f(m.regs[in.Rs1]) * b2f(m.regs[in.Rs2]))
+				m.regs[in.rd] = f2b(b2f(m.regs[in.rs1]) * b2f(m.regs[in.rs2]))
 			case isa.OpFdiv:
-				m.regs[in.Rd] = f2b(b2f(m.regs[in.Rs1]) / b2f(m.regs[in.Rs2]))
+				m.regs[in.rd] = f2b(b2f(m.regs[in.rs1]) / b2f(m.regs[in.rs2]))
 			case isa.OpFcvtIF:
-				m.regs[in.Rd] = f2b(float64(int64(m.regs[in.Rs1])))
+				m.regs[in.rd] = f2b(float64(int64(m.regs[in.rs1])))
 			case isa.OpFcvtFI:
-				m.regs[in.Rd] = uint64(int64(b2f(m.regs[in.Rs1])))
+				m.regs[in.rd] = uint64(int64(b2f(m.regs[in.rs1])))
 			case isa.OpSys:
-				m.syscall(in.Imm)
+				// Deliver buffered events before servicing the syscall:
+				// the timing-feedback path (SysTimeQuery) reads state the
+				// sink owns — the modelled cycle count — which must be
+				// caught up to the retired-instruction stream, exactly as
+				// it is under per-event delivery.
+				if bi != 0 {
+					bs.OnEvents(batch[:bi])
+					bi = 0
+				}
+				m.syscall(in.imm)
 			default:
-				panic(fmt.Sprintf("vm: unimplemented opcode %v at pc=%#x", in.Op, pc))
+				panic(fmt.Sprintf("vm: unimplemented opcode %v at pc=%#x", in.op, pc))
 			}
-			m.regs[isa.RegZero] = 0
+			if in.clearZero {
+				m.regs[isa.RegZero] = 0
+			}
 
-			cls := in.Op.Class()
+			cls := in.cls
 			if cls == isa.ClassBranch {
 				m.stats.Branches++
 				if taken {
 					m.stats.TakenBr++
-					target = pc + uint64(int64(in.Imm))
+					target = in.target
 					nextPC = target
 				}
 			}
@@ -501,26 +653,43 @@ func (m *Machine) Run(n uint64, sink Sink) uint64 {
 			executed++
 			m.stats.Instructions++
 
-			if sink != nil {
-				ev = Event{
-					PC: pc, NextPC: nextPC, MemAddr: memAddr, Target: target,
-					Op: in.Op, Class: cls,
-					Rd: in.Rd, Rs1: in.Rs1, Rs2: in.Rs2, Taken: taken,
+			if bs != nil {
+				// Indexed store into the reused buffer: every field is
+				// assigned, so the previous batch's contents never leak.
+				e := &batch[bi]
+				e.PC, e.NextPC, e.MemAddr, e.Target = pc, nextPC, memAddr, target
+				e.Op, e.Class = in.op, cls
+				e.Rd, e.Rs1, e.Rs2, e.Taken = in.rd, in.rs1, in.rs2, taken
+				bi++
+				if bi == len(batch) {
+					bs.OnEvents(batch)
+					bi = 0
 				}
-				sink.OnEvent(&ev)
 			}
 
 			if m.halted {
 				m.pc = pc
+				if bi != 0 {
+					bs.OnEvents(batch[:bi])
+					bi = 0
+				}
 				return executed
 			}
-			if nextPC != pc+isa.InstBytes || in.Op.EndsBlock() || cur.dead {
+			// Only control transfers change nextPC, and every one of
+			// them ends the block, so the sequential fall-through test
+			// reduces to the precomputed exit flag (plus the block dying
+			// under a store to its own page).
+			if in.endsBlock || cur.dead {
 				m.pc = nextPC
 				// Block chaining: remember the dominant successor.
 				if !cur.dead {
 					if cur.chainPC == nextPC && cur.chainBlk != nil && !cur.chainBlk.dead {
 						next = cur.chainBlk
 					} else {
+						if bi != 0 {
+							bs.OnEvents(batch[:bi])
+							bi = 0
+						}
 						next = m.lookup(nextPC)
 						cur.chainPC = nextPC
 						cur.chainBlk = next
@@ -536,13 +705,15 @@ func (m *Machine) Run(n uint64, sink Sink) uint64 {
 			// Fell off the end of a length/page-limited block, or the
 			// block died under us.
 			if cur != nil && !cur.dead && len(insts) > 0 {
-				last := insts[len(insts)-1]
-				if !last.Op.EndsBlock() {
+				if !insts[len(insts)-1].endsBlock {
 					m.pc = cur.pc + uint64(len(insts))*isa.InstBytes
 				}
 			}
 			cur = nil
 		}
+	}
+	if bi != 0 {
+		bs.OnEvents(batch[:bi])
 	}
 	return executed
 }
