@@ -23,13 +23,16 @@ fuzz-smoke:
 	$(GO) test ./internal/isa -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/asm -run '^$$' -fuzz '^FuzzAsmRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/asm -run '^$$' -fuzz '^FuzzMoviExpansion$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/vm -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZTIME)
 
 # Differential-execution checks over generated guest programs plus
 # sampling-policy determinism (see internal/check and cmd/diffcheck).
 # -batch adds the event-batch invariance sweep: every program and
 # policy re-run across batch capacities {1,3,64,4096}, bit-identical.
+# -faults adds the fault-equivalence sweep: rendered artifacts must be
+# byte-identical to a fault-free run under seeded fault injection.
 diffcheck:
-	$(GO) run ./cmd/diffcheck -seed 1 -n 200 -batch
+	$(GO) run ./cmd/diffcheck -seed 1 -n 200 -batch -faults
 
 golden-update:
 	$(GO) test ./internal/experiments -run TestGolden -update

@@ -26,6 +26,12 @@
 // sampling policy is replayed across the same capacities, all required
 // to be bit-identical (the batched event pipeline must be invisible).
 //
+// The -faults flag additionally runs the fault-equivalence check: the
+// experiment runner is driven under several seeded fault-injection
+// schedules (disk I/O errors, torn and corrupted checkpoints,
+// measurement panics, hangs, and transient errors) and its rendered
+// artifacts must be byte-identical to a fault-free run.
+//
 // Program checks run seeds seed..seed+n-1. Any divergence is reported
 // with the first differing field and a disassembled window around the
 // divergence PC, and the exit status is 1; re-running with the printed
@@ -40,6 +46,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/workload"
 )
 
@@ -51,6 +58,7 @@ func main() {
 		mode  = flag.String("mode", "all", "all|lockstep|snapshot|serialize|replay|chunks|policies")
 		ckpt  = flag.Bool("ckpt", false, "also run the checkpoint cache-equivalence check per benchmark")
 		batch = flag.Bool("batch", false, "also run event-batch invariance checks (programs and policies)")
+		fault = flag.Bool("faults", false, "also run the fault-equivalence check (seeded fault injection vs fault-free artifacts)")
 		scale = flag.Int("scale", 50_000, "benchmark scale divisor for policy determinism")
 		bench = flag.String("bench", "gzip,mcf", "comma-separated benchmarks for policy determinism (\"all\" = every benchmark)")
 		verb  = flag.Bool("v", false, "report every seed, not just failures")
@@ -147,6 +155,24 @@ func main() {
 			fmt.Printf("diffcheck: batch invariance ok (%s at scale %d, batch sizes %v)\n",
 				strings.Join(benches, ", "), *scale, check.BatchSizes)
 		}
+	}
+
+	if *fault {
+		fo := check.FaultOptions{
+			RequireKinds: []faults.Kind{
+				faults.DiskRead, faults.DiskWrite, faults.DiskSync,
+				faults.CorruptRead, faults.TornWrite,
+				faults.RunPanic, faults.RunHang, faults.RunError,
+			},
+		}
+		if *verb {
+			fo.Progress = os.Stderr
+		}
+		if err := check.FaultEquivalence(fo); err != nil {
+			fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("diffcheck: fault equivalence ok (artifacts byte-identical under injected faults)")
 	}
 }
 

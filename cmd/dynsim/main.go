@@ -11,14 +11,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/hostcost"
 	"repro/internal/sampling"
 	"repro/internal/simpoint"
@@ -38,6 +42,8 @@ func main() {
 	baseline := flag.Bool("baseline", false, "also run full timing and report error/speedup")
 	ckptDir := flag.String("ckpt-dir", "", "persist checkpoints to this directory (warm-starts later runs)")
 	ckptStride := flag.Uint64("ckpt-stride", 0, "checkpoint deposit stride in base intervals (0 = auto)")
+	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none)")
+	faultSeed := flag.Uint64("faults", 0, "inject deterministic disk faults into the checkpoint store with this seed (0 = off; needs -ckpt-dir)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -99,15 +105,52 @@ func main() {
 	opts := core.Options{Scale: *scale, CkptStride: *ckptStride}
 	var store *ckpt.Store
 	if *ckptDir != "" {
-		store, err = ckpt.New(ckpt.Options{Dir: *ckptDir})
+		ckptOpts := ckpt.Options{Dir: *ckptDir}
+		if *faultSeed != 0 {
+			ckptOpts.Faults = faults.New(*faultSeed, faults.DefaultPlan())
+		}
+		store, err = ckpt.New(ckptOpts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dynsim:", err)
 			os.Exit(1)
 		}
 		opts.Ckpt = store
 	}
+
+	// Ctrl-C, SIGTERM, or the -timeout deadline abort the run with a
+	// nonzero exit instead of leaving a wedged process. The simulation
+	// itself is synchronous, so it runs in a child goroutine and the
+	// main goroutine waits on whichever finishes first.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	s := core.NewSession(spec, opts)
-	res, err := p.Run(s)
+	type outcome struct {
+		res sampling.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := p.Run(s)
+		ch <- outcome{res, err}
+	}()
+	var res sampling.Result
+	select {
+	case o := <-ch:
+		res, err = o.res, o.err
+	case <-ctx.Done():
+		if ctx.Err() == context.DeadlineExceeded {
+			fmt.Fprintf(os.Stderr, "dynsim: run exceeded -timeout %v\n", *timeout)
+		} else {
+			fmt.Fprintln(os.Stderr, "dynsim: interrupted")
+		}
+		os.Exit(130)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynsim:", err)
 		os.Exit(1)

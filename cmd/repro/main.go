@@ -7,19 +7,32 @@
 //
 // The workload scale divides the paper's instruction budgets; 2000 (the
 // default) runs the full suite in a few minutes on a multicore host.
+//
+// With -out DIR, completed measurements are appended to a crash-safe
+// run journal under DIR as they finish. Ctrl-C (or SIGTERM) stops the
+// sweep cleanly, flushes the journal, and exits nonzero; rerunning with
+// the same -out resumes from the completed cells instead of starting
+// over. -timeout bounds each measurement attempt and -retries bounds
+// how often a failed one is retried; a cell that exhausts the ladder
+// renders as an explicit FAILED marker instead of aborting the run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 )
 
 type experiment struct {
@@ -38,6 +51,10 @@ func main() {
 	ckptDir := flag.String("ckpt-dir", "", "persist checkpoints to this directory (warm-starts later runs)")
 	ckptStride := flag.Uint64("ckpt-stride", 0, "checkpoint deposit stride in base intervals (0 = auto)")
 	noCkpt := flag.Bool("no-ckpt", false, "disable the warm-start checkpoint cache")
+	out := flag.String("out", "", "directory for the crash-safe run journal; rerunning with the same -out resumes completed measurements")
+	timeout := flag.Duration("timeout", 0, "per-measurement-attempt deadline (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts for a failed measurement (0 = default 2, negative = none)")
+	faultSeed := flag.Uint64("faults", 0, "inject deterministic faults with this seed (0 = off; robustness testing)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -70,12 +87,18 @@ func main() {
 		}
 	}()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := experiments.Options{
 		Scale:       *scale,
 		Parallelism: *parallel,
 		CkptDir:     *ckptDir,
 		CkptStride:  *ckptStride,
 		CkptOff:     *noCkpt,
+		Context:     ctx,
+		Timeout:     *timeout,
+		Retries:     *retries,
 	}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
@@ -83,7 +106,14 @@ func main() {
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
+	if *faultSeed != 0 {
+		opts.Faults = faults.New(*faultSeed, faults.DefaultPlan())
+	}
+	if *out != "" {
+		opts.Journal = filepath.Join(*out, "journal.jsonl")
+	}
 	r := experiments.NewRunner(opts)
+	defer r.Close()
 
 	all := []experiment{
 		{"table1", "timing simulator parameters", func(r *experiments.Runner, w io.Writer) error { return experiments.Table1(w) }},
@@ -110,6 +140,14 @@ func main() {
 		ran++
 		fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
 		if err := e.run(r, os.Stdout); err != nil {
+			r.Close() // flush the journal before exiting
+			if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "repro: interrupted during %s\n", e.name)
+				if *out != "" {
+					fmt.Fprintf(os.Stderr, "repro: completed measurements are journaled; resume by rerunning with the same -out %s\n", *out)
+				}
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
@@ -137,5 +175,10 @@ func main() {
 
 	if st, ok := r.CkptStats(); ok && !*quiet {
 		fmt.Fprintf(os.Stderr, "checkpoint store: %s\n", st)
+	}
+	if fs := r.Failures(); len(fs) != 0 {
+		fmt.Fprintf(os.Stderr, "repro: %d measurement(s) failed after retries and are marked FAILED above\n", len(fs))
+		r.Close()
+		os.Exit(3)
 	}
 }

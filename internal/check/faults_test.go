@@ -1,0 +1,34 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestFaultEquivalence is the robustness pin: across multiple injector
+// seeds covering disk I/O errors, checkpoint corruption (torn writes
+// and flipped bytes), measurement panics, hangs, and transient errors,
+// the rendered artifacts must be byte-identical to a fault-free run
+// with zero recorded cell failures.
+func TestFaultEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-equivalence sweep is slow; skipped in -short")
+	}
+	err := FaultEquivalence(FaultOptions{
+		Seeds: []uint64{1, 2, 3},
+		RequireKinds: []faults.Kind{
+			faults.DiskRead,
+			faults.DiskWrite,
+			faults.DiskSync,
+			faults.CorruptRead,
+			faults.TornWrite,
+			faults.RunPanic,
+			faults.RunHang,
+			faults.RunError,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

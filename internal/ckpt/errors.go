@@ -1,0 +1,63 @@
+package ckpt
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/vm"
+)
+
+// ErrCorrupt classifies a disk-tier checkpoint whose bytes cannot be
+// trusted: digest-footer mismatch, structural decode failure, version
+// skew, or a snapshot that decodes cleanly but holds the wrong
+// instruction count for its key. The entry is unusable no matter how
+// many times it is re-read; the healing path is to discard it and fall
+// back to an earlier checkpoint or cold execution.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+// ErrIO classifies a disk-tier operation that failed at the filesystem
+// level — open, read, write, sync, or rename. Unlike ErrCorrupt the
+// entry itself may be fine; the fault may be transient and a retry or
+// a degrade to the in-memory tier can heal it.
+var ErrIO = errors.New("ckpt: checkpoint I/O")
+
+// classifyLoadErr wraps a raw load failure with the typed sentinel that
+// names its healing path. Decode-layer failures (vm.ErrCorruptSnapshot,
+// vm.ErrSnapshotVersion, any structural error past a successful open,
+// unexpected EOF from truncation) are ErrCorrupt; everything else —
+// os.Open failures, injected disk faults — is ErrIO.
+func classifyLoadErr(opened bool, err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrCorrupt) || errors.Is(err, ErrIO):
+		return err
+	case errors.Is(err, vm.ErrCorruptSnapshot),
+		errors.Is(err, vm.ErrSnapshotVersion),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.EOF):
+		return errors.Join(ErrCorrupt, err)
+	case opened:
+		// Past a successful open, any remaining failure is a decode
+		// problem with the bytes themselves (bad magic, implausible
+		// section lengths), not the filesystem.
+		return errors.Join(ErrCorrupt, err)
+	default:
+		return errors.Join(ErrIO, err)
+	}
+}
+
+// FaultInjector is the store's hook for deterministic fault injection
+// (implemented by faults.Injector). All methods must be safe for
+// concurrent use. A nil injector means no faults.
+type FaultInjector interface {
+	// DiskFault may fail a disk-tier operation; op is "read", "write",
+	// or "sync" and name identifies the checkpoint file.
+	DiskFault(op, name string) error
+	// CorruptReader may wrap a checkpoint read stream with one that
+	// flips or truncates bytes.
+	CorruptReader(name string, r io.Reader) io.Reader
+	// CorruptWriter may wrap a checkpoint write stream with one that
+	// silently drops bytes (a torn write).
+	CorruptWriter(name string, w io.Writer) io.Writer
+}

@@ -1,0 +1,274 @@
+package ckpt
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// mangleFile rewrites a checkpoint file in place via fn.
+func mangleFile(t *testing.T, path string, fn func([]byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fn(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadTypedErrors drives every disk-tier failure path and asserts
+// the typed classification: bad bytes are ErrCorrupt (and the file is
+// removed so no future store resurrects it), filesystem-level failures
+// are ErrIO (the file, if any, is left alone). Either way the entry
+// degrades to a miss and is not retried.
+func TestLoadTypedErrors(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name        string
+		mangle      func(t *testing.T, path string)
+		faults      *faults.Injector
+		want        error
+		wantRemoved bool
+	}{
+		{
+			name: "truncated",
+			mangle: func(t *testing.T, path string) {
+				mangleFile(t, path, func(b []byte) []byte { return b[:len(b)/2] })
+			},
+			want:        ErrCorrupt,
+			wantRemoved: true,
+		},
+		{
+			name: "empty",
+			mangle: func(t *testing.T, path string) {
+				mangleFile(t, path, func([]byte) []byte { return nil })
+			},
+			want:        ErrCorrupt,
+			wantRemoved: true,
+		},
+		{
+			name: "flipped-byte",
+			mangle: func(t *testing.T, path string) {
+				mangleFile(t, path, func(b []byte) []byte { b[100] ^= 0x01; return b })
+			},
+			want:        ErrCorrupt,
+			wantRemoved: true,
+		},
+		{
+			name: "bad-magic",
+			mangle: func(t *testing.T, path string) {
+				mangleFile(t, path, func(b []byte) []byte { b[0] ^= 0xff; return b })
+			},
+			want:        ErrCorrupt,
+			wantRemoved: true,
+		},
+		{
+			name: "stale-version",
+			mangle: func(t *testing.T, path string) {
+				mangleFile(t, path, func(b []byte) []byte { b[4], b[5] = 0xff, 0xff; return b })
+			},
+			want:        ErrCorrupt,
+			wantRemoved: true,
+		},
+		{
+			name: "vanished",
+			mangle: func(t *testing.T, path string) {
+				if err := os.Remove(path); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want:        ErrIO,
+			wantRemoved: true, // trivially: the mangle itself removed it
+		},
+		{
+			name:   "injected-read-fault",
+			faults: faults.New(1, faults.Plan{DiskRead: 1}),
+			want:   ErrIO,
+		},
+		{
+			name:        "injected-corrupt-read",
+			faults:      faults.New(1, faults.Plan{CorruptRead: 1}),
+			want:        ErrCorrupt,
+			wantRemoved: true,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			seedStore, err := New(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := testKey(1000)
+			seedStore.Put(k, snapAt(t, 1000))
+			path := filepath.Join(dir, k.String()+".ckpt")
+
+			// Open the store before mangling: New only indexes names,
+			// so the entry stays indexed and the load path is the one
+			// that meets the damage (as it would mid-run).
+			opts := Options{Dir: dir}
+			if c.faults != nil { // a typed-nil *Injector would make the interface non-nil
+				opts.Faults = c.faults
+			}
+			s, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.mangle != nil {
+				c.mangle(t, path)
+			}
+			snap, err := s.Load(k)
+			if snap != nil {
+				t.Fatal("Load served a snapshot across a disk fault")
+			}
+			if !errors.Is(err, c.want) {
+				t.Fatalf("Load error = %v, want %v", err, c.want)
+			}
+			if errors.Is(err, ErrCorrupt) && errors.Is(err, ErrIO) {
+				t.Fatalf("Load error %v matches both sentinels", err)
+			}
+			if _, statErr := os.Stat(path); c.wantRemoved != errors.Is(statErr, fs.ErrNotExist) {
+				t.Errorf("file removed = %v, want %v (stat: %v)", errors.Is(statErr, fs.ErrNotExist), c.wantRemoved, statErr)
+			}
+			// Degraded to a miss: the failed entry must not be retried.
+			if snap, err := s.Load(k); snap != nil || err != nil {
+				t.Fatalf("second Load = %v, %v; want clean miss", snap, err)
+			}
+			if _, ok := s.Lookup(k); ok {
+				t.Fatal("Lookup served the dropped entry")
+			}
+			if st := s.Stats(); st.DiskErrors != 1 {
+				t.Fatalf("DiskErrors = %d, want 1 (no retries)", st.DiskErrors)
+			}
+		})
+	}
+}
+
+// TestLoadInstrMismatch plants a valid snapshot under a filename whose
+// key claims a different instruction count: the decode succeeds but the
+// content check must classify it ErrCorrupt.
+func TestLoadInstrMismatch(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	seedStore, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(1000)
+	seedStore.Put(k, snapAt(t, 1000))
+	wrong := testKey(2000)
+	data, err := os.ReadFile(filepath.Join(dir, k.String()+".ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, wrong.String()+".ckpt"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, err := s.Load(wrong); snap != nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load(wrong instr) = %v, %v; want nil, ErrCorrupt", snap, err)
+	}
+	// The honest entry survives untouched.
+	if snap, err := s.Load(k); snap == nil || err != nil {
+		t.Fatalf("Load(correct key) = %v, %v", snap, err)
+	}
+}
+
+// TestStoreWriteDegradation keeps the disk-write fault firing: after
+// maxWriteFails consecutive failures the store must stop writing (one
+// bounded error burst, not one per deposit) while the in-memory tier
+// keeps serving every entry.
+func TestStoreWriteDegradation(t *testing.T) {
+	t.Parallel()
+	inj := faults.New(7, faults.Plan{DiskWrite: 1})
+	s, err := New(Options{Dir: t.TempDir(), Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deposits = maxWriteFails + 3
+	for i := 1; i <= deposits; i++ {
+		n := uint64(1000 * i)
+		s.Put(testKey(n), snapAt(t, n))
+	}
+	st := s.Stats()
+	if !st.DiskDegraded {
+		t.Fatal("store did not degrade to the memory tier")
+	}
+	if st.WriteFails != maxWriteFails {
+		t.Fatalf("WriteFails = %d, want exactly %d (writes must stop after degradation)", st.WriteFails, maxWriteFails)
+	}
+	if st.DiskWrites != 0 || st.DiskEntries != 0 {
+		t.Fatalf("degraded store persisted entries: %+v", st)
+	}
+	for i := 1; i <= deposits; i++ {
+		if _, ok := s.Lookup(testKey(uint64(1000 * i))); !ok {
+			t.Fatalf("memory tier lost entry %d after disk degradation", i)
+		}
+	}
+}
+
+// TestStoreTornWriteDetectedOnRead injects a torn write: the deposit
+// reports success (as a crash mid-write would), and the short file is
+// caught by the digest footer when a later process reads it.
+func TestStoreTornWriteDetectedOnRead(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	inj := faults.New(3, faults.Plan{TornWrite: 1})
+	s1, err := New(Options{Dir: dir, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(1000)
+	s1.Put(k, snapAt(t, 1000))
+	if st := s1.Stats(); st.DiskWrites != 1 || st.WriteFails != 0 {
+		t.Fatalf("torn write must look like success at write time: %+v", st)
+	}
+	s2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, err := s2.Load(k); snap != nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load(torn file) = %v, %v; want nil, ErrCorrupt", snap, err)
+	}
+}
+
+// TestStoreDiscard removes an entry from every tier, including the disk
+// file, so a future store over the same directory cannot resurrect it.
+func TestStoreDiscard(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(1000)
+	s.Put(k, snapAt(t, 1000))
+	s.Discard(k)
+	if s.Contains(k) {
+		t.Fatal("store still claims the discarded key")
+	}
+	if _, err := os.Stat(filepath.Join(dir, k.String()+".ckpt")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("discarded file still on disk: %v", err)
+	}
+	s2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Contains(k) {
+		t.Fatal("fresh store resurrected the discarded key")
+	}
+	if st := s.Stats(); st.Discards != 1 {
+		t.Fatalf("Discards = %d, want 1", st.Discards)
+	}
+}

@@ -16,7 +16,9 @@ package ckpt
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -67,7 +69,16 @@ type Options struct {
 	// Dir, when non-empty, persists every deposit to this directory and
 	// serves misses from it. Created if absent.
 	Dir string
+	// Faults, when non-nil, injects deterministic disk-tier faults
+	// (see FaultInjector); used by the robustness harness.
+	Faults FaultInjector
 }
+
+// maxWriteFails is how many consecutive disk-write failures the store
+// tolerates before degrading to its in-memory tier: after that, writes
+// stop (reads continue) so a dead disk costs one bounded burst of
+// errors rather than an error per deposit for the rest of the run.
+const maxWriteFails = 3
 
 // Stats counts store activity; cmd/ckptbench reports them in
 // BENCH_pr2.json.
@@ -82,9 +93,12 @@ type Stats struct {
 	DiskLoads     uint64 // snapshots deserialized from Dir
 	DiskWrites    uint64 // snapshots serialized to Dir
 	DiskErrors    uint64 // corrupt/unreadable files degraded to misses
+	WriteFails    uint64 // failed disk writes (subset of DiskErrors)
+	Discards      uint64 // entries explicitly discarded by callers
 	Entries       int    // current in-memory entries
 	DiskEntries   int    // current on-disk entries
 	Bytes         int64  // current in-memory estimated bytes
+	DiskDegraded  bool   // disk writes disabled after maxWriteFails
 }
 
 type entry struct {
@@ -108,9 +122,13 @@ type Store struct {
 	// overstate residency by orders of magnitude and thrash the LRU;
 	// instead a page is charged when its refcount rises from zero and
 	// refunded when it falls back.
-	refs  map[*mem.Page]int
-	disk  map[Key]bool
-	stats Stats
+	refs map[*mem.Page]int
+	disk map[Key]bool
+	// writeFails counts consecutive disk-write failures; at
+	// maxWriteFails the disk tier degrades to read-only.
+	writeFails int
+	diskOff    bool
+	stats      Stats
 }
 
 // New creates a store. With Options.Dir set, the directory is created
@@ -208,40 +226,107 @@ func (s *Store) Lookup(k Key) (*vm.Snapshot, bool) {
 
 // lookupLocked serves k from memory or disk, returning nil on miss.
 func (s *Store) lookupLocked(k Key) *vm.Snapshot {
-	if el, ok := s.mem[k]; ok {
-		s.lru.MoveToFront(el)
-		return el.Value.(*entry).snap
-	}
-	if !s.disk[k] {
+	snap, err := s.loadAnyLocked(k)
+	if err != nil || snap == nil {
 		return nil
 	}
-	snap, err := s.loadLocked(k)
-	if err != nil {
-		// Corrupt or vanished file: degrade to a miss, drop the index
-		// entry so we don't retry every lookup.
-		s.stats.DiskErrors++
-		delete(s.disk, k)
-		return nil
-	}
-	s.insertLocked(k, snap)
 	return snap
 }
 
+// loadAnyLocked serves k from memory or disk. A disk-tier failure
+// degrades to a miss — the index entry is dropped (and the file removed
+// when the bytes themselves are corrupt) so later lookups don't retry —
+// but the typed error is also returned so Load callers can see what
+// happened instead of a silent miss.
+func (s *Store) loadAnyLocked(k Key) (*vm.Snapshot, error) {
+	if el, ok := s.mem[k]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*entry).snap, nil
+	}
+	if !s.disk[k] {
+		return nil, nil
+	}
+	snap, err := s.loadLocked(k)
+	if err != nil {
+		s.stats.DiskErrors++
+		delete(s.disk, k)
+		if errors.Is(err, ErrCorrupt) && s.opts.Dir != "" {
+			// The bytes are untrustworthy no matter how often they are
+			// re-read; remove them so a future store over the same Dir
+			// cannot resurrect the entry.
+			os.Remove(s.path(k))
+		}
+		return nil, err
+	}
+	s.insertLocked(k, snap)
+	return snap, nil
+}
+
+// loadLocked reads and decodes k's disk file, classifying any failure
+// as ErrCorrupt (bad bytes) or ErrIO (filesystem-level).
 func (s *Store) loadLocked(k Key) (*vm.Snapshot, error) {
+	name := k.String()
+	fi := s.opts.Faults
+	if fi != nil {
+		if err := fi.DiskFault("read", name); err != nil {
+			return nil, classifyLoadErr(false, err)
+		}
+	}
 	f, err := os.Open(s.path(k))
 	if err != nil {
-		return nil, err
+		return nil, classifyLoadErr(false, err)
 	}
 	defer f.Close()
-	snap, err := vm.ReadSnapshot(f)
+	var r io.Reader = f
+	if fi != nil {
+		r = fi.CorruptReader(name, r)
+	}
+	snap, err := vm.ReadSnapshot(r)
 	if err != nil {
-		return nil, err
+		return nil, classifyLoadErr(true, err)
 	}
 	if snap.Instructions() != k.Instr {
-		return nil, fmt.Errorf("ckpt: %s holds instr %d", k, snap.Instructions())
+		return nil, fmt.Errorf("%w: %s holds instr %d", ErrCorrupt, k, snap.Instructions())
 	}
 	s.stats.DiskLoads++
 	return snap, nil
+}
+
+// Load is Lookup with the failure visible: on a disk-tier fault it
+// returns the typed error (ErrCorrupt or ErrIO) instead of a bare
+// miss. A miss with no fault returns (nil, nil). Degradation still
+// happens — the failed entry is dropped exactly as Lookup would.
+func (s *Store) Load(k Key) (*vm.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, err := s.loadAnyLocked(k)
+	if snap != nil {
+		s.stats.Hits++
+		return snap, nil
+	}
+	s.stats.Misses++
+	return nil, err
+}
+
+// Discard removes k from every tier — memory, the disk index, and the
+// disk file itself. core.Session calls this when a snapshot decoded
+// cleanly but failed to restore, so the entry is never served again,
+// here or to a future store over the same Dir.
+func (s *Store) Discard(k Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.mem[k]; ok {
+		s.lru.Remove(el)
+		delete(s.mem, k)
+		s.bytes -= s.refundLocked(el.Value.(*entry).snap)
+	}
+	if s.disk[k] {
+		delete(s.disk, k)
+		if s.opts.Dir != "" {
+			os.Remove(s.path(k))
+		}
+	}
+	s.stats.Discards++
 }
 
 // Nearest returns the stored snapshot with the largest instruction
@@ -291,10 +376,21 @@ func (s *Store) Put(k Key, snap *vm.Snapshot) {
 	onDisk := s.disk[k]
 	s.stats.Puts++
 	s.insertLocked(k, snap)
-	if s.opts.Dir != "" && !onDisk {
+	if s.opts.Dir != "" && !onDisk && !s.diskOff {
 		if err := s.writeLocked(k, snap); err != nil {
 			s.stats.DiskErrors++
+			s.stats.WriteFails++
+			s.writeFails++
+			if s.writeFails >= maxWriteFails {
+				// Degradation ladder, rung one: the disk tier keeps
+				// failing, so stop writing to it and run on the
+				// in-memory tier alone. Reads of entries already on
+				// disk continue to work.
+				s.diskOff = true
+				s.stats.DiskDegraded = true
+			}
 		} else {
+			s.writeFails = 0
 			s.stats.DiskWrites++
 			s.disk[k] = true
 		}
@@ -352,27 +448,54 @@ func (s *Store) insertLocked(k Key, snap *vm.Snapshot) {
 	}
 }
 
-// writeLocked persists a snapshot atomically: temp file, then rename.
-// Concurrent writers of the same key are harmless — the encoding is
-// deterministic, so both temp files hold identical bytes and either
-// rename wins.
+// writeLocked persists a snapshot atomically: temp file, fsync, then
+// rename, so a crash never leaves a half-written file under a live
+// name. Concurrent writers of the same key are harmless — the encoding
+// is deterministic, so both temp files hold identical bytes and either
+// rename wins. All failures are ErrIO-wrapped. Note an injected torn
+// write is NOT an error here: it silently commits a short file, which a
+// later read detects via the digest footer — exactly the crash shape it
+// models.
 func (s *Store) writeLocked(k Key, snap *vm.Snapshot) error {
+	name := k.String()
+	fi := s.opts.Faults
+	if fi != nil {
+		if err := fi.DiskFault("write", name); err != nil {
+			return errors.Join(ErrIO, err)
+		}
+	}
 	f, err := os.CreateTemp(s.opts.Dir, ".tmp-*")
 	if err != nil {
-		return err
+		return errors.Join(ErrIO, err)
 	}
-	if _, err := snap.WriteTo(f); err != nil {
+	var w io.Writer = f
+	if fi != nil {
+		w = fi.CorruptWriter(name, w)
+	}
+	if _, err := snap.WriteTo(w); err != nil {
 		f.Close()
 		os.Remove(f.Name())
-		return err
+		return errors.Join(ErrIO, err)
+	}
+	if fi != nil {
+		if err := fi.DiskFault("sync", name); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return errors.Join(ErrIO, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return errors.Join(ErrIO, err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(f.Name())
-		return err
+		return errors.Join(ErrIO, err)
 	}
 	if err := os.Rename(f.Name(), s.path(k)); err != nil {
 		os.Remove(f.Name())
-		return err
+		return errors.Join(ErrIO, err)
 	}
 	return nil
 }
@@ -390,7 +513,11 @@ func (s *Store) Stats() Stats {
 
 // String summarises the store for CLI output.
 func (st Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d nearest=%d puts=%d dup=%d evict=%d mem=%d/%dB disk=%d (loads=%d writes=%d errors=%d)",
+	s := fmt.Sprintf("hits=%d misses=%d nearest=%d puts=%d dup=%d evict=%d mem=%d/%dB disk=%d (loads=%d writes=%d errors=%d)",
 		st.Hits, st.Misses, st.NearestHits, st.Puts, st.DupPuts, st.Evictions,
 		st.Entries, st.Bytes, st.DiskEntries, st.DiskLoads, st.DiskWrites, st.DiskErrors)
+	if st.DiskDegraded {
+		s += " DISK-DEGRADED"
+	}
+	return s
 }

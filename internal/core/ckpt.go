@@ -119,12 +119,17 @@ func (s *Session) fastHit(n uint64) bool {
 	if n != s.interval || s.executed%s.interval != 0 || (s.executed+n)%s.ckptEvery != 0 {
 		return false
 	}
-	snap, ok := s.ckpt.Lookup(s.ckptKey(s.executed + n))
+	key := s.ckptKey(s.executed + n)
+	snap, ok := s.ckpt.Lookup(key)
 	if !ok {
 		return false
 	}
 	if err := s.machine.Restore(snap); err != nil {
-		// A corrupt store entry degrades to cold execution.
+		// A snapshot that decoded cleanly but failed to restore is
+		// unusable for everyone: discard it from every tier and degrade
+		// to cold execution. Restore validates before mutating, so the
+		// machine is untouched.
+		s.ckpt.Discard(key)
 		return false
 	}
 	s.executed += n
@@ -154,13 +159,23 @@ func (s *Session) FastForwardVia(store *ckpt.Store, target uint64) uint64 {
 		target = s.total
 	}
 	start := s.executed
-	if store != nil && !s.feedback && target > s.executed {
-		if snap, instr, ok := store.Nearest(s.ckptKey(target)); ok && instr > s.executed {
-			if err := s.machine.Restore(snap); err == nil {
-				s.executed = instr
-				s.canonical = instr%s.interval == 0
-			}
+	for store != nil && !s.feedback && target > s.executed {
+		snap, instr, ok := store.Nearest(s.ckptKey(target))
+		if !ok || instr <= s.executed {
+			break
 		}
+		if err := s.machine.Restore(snap); err != nil {
+			// Degradation ladder: a snapshot that decoded cleanly but
+			// failed to restore is discarded from every tier, then the
+			// next-lower checkpoint is tried; with none left we fall
+			// through and walk from scratch. Restore validates before
+			// mutating, so each failed rung leaves the machine intact.
+			store.Discard(s.ckptKey(instr))
+			continue
+		}
+		s.executed = instr
+		s.canonical = instr%s.interval == 0
+		break
 	}
 	for s.executed < target && !s.machine.Halted() {
 		n := target - s.executed

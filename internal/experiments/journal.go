@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/sampling"
+	"repro/internal/simpoint"
+)
+
+// The run journal is an append-only JSONL file under the output
+// directory: one header line identifying the run, then one record per
+// completed measurement or SimPoint analysis. A crashed or SIGINT'd
+// RunAll leaves at worst a torn final line; replay stops at the first
+// unparsable line, the file is truncated back to the last good record,
+// and the resumed run re-executes only what is missing. Failures are
+// never journaled — a resumed run retries failed cells from scratch.
+//
+// Byte-identity across resume is free by construction: records hold
+// sampling.Result / simpoint.Analysis values whose fields round-trip
+// exactly through encoding/json (Go marshals float64 with the shortest
+// representation that parses back to the same bit pattern), so a
+// replayed result is the result.
+
+const journalVersion = 1
+
+// journalRecord is one line of the journal. Kind selects which of the
+// remaining fields are meaningful.
+type journalRecord struct {
+	Kind string `json:"kind"` // "header" | "result" | "analysis"
+
+	// Header fields: everything that must match for old records to be
+	// valid in this run. Scale changes every measured value; the
+	// journal version gates the format itself.
+	Version int `json:"version,omitempty"`
+	Scale   int `json:"scale,omitempty"`
+
+	Bench    string             `json:"bench,omitempty"`
+	Policy   string             `json:"policy,omitempty"`
+	Result   *sampling.Result   `json:"result,omitempty"`
+	Analysis *simpoint.Analysis `json:"analysis,omitempty"`
+}
+
+// journal appends records to the run journal. Safe for concurrent use;
+// each record is written with a single Write so concurrent appends
+// never interleave and a crash tears at most the final line.
+type journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+}
+
+// openJournal opens (or creates) the journal at path, replays its valid
+// prefix, and returns the journal positioned for appends plus the
+// replayed records. A header mismatch (different scale or format
+// version) rotates the old file to path+".stale" and starts fresh; a
+// torn or corrupt tail is truncated away. Only unrecoverable I/O errors
+// are returned — callers degrade to journal-less operation.
+func openJournal(path string, scale int) (*journal, []journalRecord, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, err
+		}
+	}
+	records, goodBytes, err := replayJournal(path, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	if records == nil && goodBytes < 0 {
+		// Valid file for a different run: keep it for forensics, start
+		// a fresh journal.
+		os.Rename(path, path+".stale")
+		goodBytes = 0
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Drop the torn tail before appending: an append after a partial
+	// final line would corrupt the first new record too.
+	if err := f.Truncate(goodBytes); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(goodBytes, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &journal{f: f}
+	if goodBytes == 0 {
+		if err := j.append(journalRecord{Kind: "header", Version: journalVersion, Scale: scale}); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return j, records, nil
+}
+
+// replayJournal parses the journal's valid prefix. Returns the replayed
+// measurement records and the byte offset of the end of the last good
+// line. A missing file is (nil, 0, nil). A file whose header names a
+// different run returns goodBytes = -1 as the rotate signal.
+func replayJournal(path string, scale int) ([]journalRecord, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+	var (
+		records   []journalRecord
+		goodBytes int64
+		sawHeader bool
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // traces make long lines
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn or corrupt tail: everything after is discarded
+		}
+		if !sawHeader {
+			if rec.Kind != "header" || rec.Version != journalVersion || rec.Scale != scale {
+				return nil, -1, nil
+			}
+			sawHeader = true
+		} else if rec.Kind == "result" || rec.Kind == "analysis" {
+			records = append(records, rec)
+		}
+		goodBytes += int64(len(line)) + 1
+	}
+	if !sawHeader {
+		// Empty file or torn header: treat as fresh.
+		return nil, 0, nil
+	}
+	return records, goodBytes, nil
+}
+
+// append writes one record as a single line. Errors are returned but
+// the journal stays usable; a failed append costs durability for that
+// record only (the measurement is still in memory).
+func (j *journal) append(rec journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal closed")
+	}
+	_, err = j.f.Write(data)
+	return err
+}
+
+// close flushes and closes the journal; later appends fail cleanly
+// (overrun measurement goroutines may outlive RunAll).
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

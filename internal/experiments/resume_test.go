@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func resumeTestOptions(journal string) Options {
+	return Options{Scale: 50_000, Benchmarks: []string{"gzip", "perlbmk"}, Journal: journal}
+}
+
+func renderAll(t *testing.T, opts Options) ([]byte, int) {
+	t.Helper()
+	r := NewRunner(opts)
+	defer r.Close()
+	var buf bytes.Buffer
+	if err := RenderArtifacts(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), r.Executions()
+}
+
+// TestJournalResumeTornAtArbitraryOffsets is the crash-safety pin: a
+// run journal truncated at any byte offset — mid-record, mid-header,
+// or between the SimPoint analysis and its results — must resume to
+// byte-identical artifacts. Offsets that preserve at least one
+// complete record must also re-execute strictly less than a cold run.
+func TestJournalResumeTornAtArbitraryOffsets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resume sweep is slow; skipped in -short")
+	}
+	dir := t.TempDir()
+	cold := filepath.Join(dir, "cold.jsonl")
+	golden, coldExecs := renderAll(t, resumeTestOptions(cold))
+	if coldExecs == 0 {
+		t.Fatal("cold run executed nothing")
+	}
+	data, err := os.ReadFile(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerEnd := bytes.IndexByte(data, '\n') + 1
+	if headerEnd <= 0 || headerEnd >= len(data) {
+		t.Fatalf("journal has no records beyond the header (%d bytes)", len(data))
+	}
+
+	offsets := []int{
+		0,                           // vanished journal: full cold re-run
+		headerEnd / 2,               // torn header: starts fresh
+		headerEnd,                   // header only
+		headerEnd + 1,               // first record torn at its first byte
+		(headerEnd + len(data)) / 2, // torn mid-file
+		len(data) - 1,               // final newline lost: last record torn
+		len(data),                   // clean shutdown: nothing to re-execute
+	}
+	for _, off := range offsets {
+		path := filepath.Join(dir, "torn.jsonl")
+		if err := os.WriteFile(path, data[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, execs := renderAll(t, resumeTestOptions(path))
+		if !bytes.Equal(got, golden) {
+			t.Fatalf("offset %d/%d: resumed artifacts diverge from cold run", off, len(data))
+		}
+		// A prefix holding the header plus >=1 complete record must
+		// spare the resumed run at least one execution.
+		complete := bytes.Count(data[:off], []byte("\n"))
+		if complete >= 2 && execs >= coldExecs {
+			t.Errorf("offset %d/%d: resumed run executed %d, want < %d", off, len(data), execs, coldExecs)
+		}
+		if execs > coldExecs {
+			t.Errorf("offset %d/%d: resumed run executed %d, more than cold run's %d", off, len(data), execs, coldExecs)
+		}
+		if off == len(data) && execs != 0 {
+			t.Errorf("full journal: resumed run executed %d, want 0", execs)
+		}
+	}
+}
+
+// cancelAfterFirstDone cancels a context as soon as the runner reports
+// its first completed measurement, simulating a SIGINT mid-sweep with
+// at least one record already journaled.
+type cancelAfterFirstDone struct {
+	cancel context.CancelFunc
+	mu     sync.Mutex
+}
+
+func (c *cancelAfterFirstDone) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bytes.HasPrefix(p, []byte("done")) {
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+// TestRunAllKilledMidFlightResumes kills a sweep via context
+// cancellation after its first completed cell, then resumes from the
+// journal: artifacts must be byte-identical to an uninterrupted run and
+// the resumed run must execute strictly less.
+func TestRunAllKilledMidFlightResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resume sweep is slow; skipped in -short")
+	}
+	dir := t.TempDir()
+	golden, coldExecs := renderAll(t, resumeTestOptions(filepath.Join(dir, "cold.jsonl")))
+
+	journal := filepath.Join(dir, "killed.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := resumeTestOptions(journal)
+	opts.Context = ctx
+	opts.Progress = &cancelAfterFirstDone{cancel: cancel}
+	r := NewRunner(opts)
+	_, err := r.RunAll(fig89Policies(opts.Scale))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted RunAll: want context.Canceled, got %v", err)
+	}
+	if fs := r.Failures(); len(fs) > 0 {
+		t.Fatalf("cancellation recorded %d cell failures, first: %v", len(fs), fs[0])
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, execs := renderAll(t, resumeTestOptions(journal))
+	if !bytes.Equal(got, golden) {
+		t.Fatal("resumed artifacts diverge from uninterrupted run")
+	}
+	if execs >= coldExecs {
+		t.Fatalf("resumed run executed %d, want < %d", execs, coldExecs)
+	}
+}
+
+// TestJournalScaleMismatchRotates: a journal written at a different
+// scale must not poison the run — it is rotated aside and the sweep
+// starts cold.
+func TestJournalScaleMismatchRotates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resume sweep is slow; skipped in -short")
+	}
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+	opts := resumeTestOptions(journal)
+	opts.Benchmarks = []string{"gzip"}
+	_, coldExecs := renderAll(t, opts)
+
+	stale := opts
+	stale.Scale = opts.Scale * 2
+	_, execs := renderAll(t, stale)
+	if execs == 0 {
+		t.Fatal("scale-mismatched journal was replayed")
+	}
+	if coldExecs != execs {
+		t.Fatalf("rotated journal: executed %d, want a full cold run of %d", execs, coldExecs)
+	}
+	if _, err := os.Stat(journal + ".stale"); err != nil {
+		t.Fatalf("old journal was not rotated aside: %v", err)
+	}
+}

@@ -7,13 +7,18 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/sampling"
 	"repro/internal/simpoint"
 	"repro/internal/vm"
@@ -50,6 +55,34 @@ type Options struct {
 	// vary without changing any rendered artifact; the golden
 	// batch-invariance test pins this.
 	VM vm.Config
+
+	// Context, when non-nil, is the base context for every measurement:
+	// cancelling it (e.g. on SIGINT) stops the sweep promptly with the
+	// cancellation error, never a recorded cell failure. nil means
+	// context.Background(). It lives in Options rather than on each
+	// call so the render functions (Figure2(r, w), ...) keep their
+	// signatures while still honouring cancellation.
+	Context context.Context
+	// Timeout bounds each measurement attempt; a cell whose attempt
+	// overruns is retried, then marked failed. 0 means no deadline —
+	// except with Faults set, where it defaults to 5s so an injected
+	// hang is always healable.
+	Timeout time.Duration
+	// Retries is how many extra attempts a failed measurement gets
+	// (default 2; negative means none). Retries use exponential
+	// backoff. Cancellation is never retried.
+	Retries int
+	// Faults, when non-nil, injects deterministic faults into both the
+	// checkpoint disk tier (via the store the runner creates) and the
+	// measurements themselves (panics, hangs, transient errors). Used
+	// by the robustness harness; see internal/faults.
+	Faults *faults.Injector
+	// Journal, when non-empty, is the path of the append-only JSONL
+	// run journal. Completed measurements are appended as they finish;
+	// on construction the journal's valid prefix is replayed so an
+	// interrupted RunAll resumes from completed cells. An unusable
+	// journal path degrades to journal-less operation.
+	Journal string
 }
 
 func (o *Options) setDefaults() {
@@ -62,24 +95,46 @@ func (o *Options) setDefaults() {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.NumCPU()
 	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Faults != nil && o.Timeout <= 0 {
+		// An injected hang is only healable with a deadline to trip.
+		o.Timeout = 5 * time.Second
+	}
 }
 
-// Runner memoises measurements across experiments.
+// Runner memoises measurements across experiments and heals the
+// failures a long sweep meets: each measurement runs in an isolated
+// goroutine with a recover guard and an optional per-attempt deadline,
+// transient failures are retried with backoff, and a cell that exhausts
+// the ladder is recorded as a CellFailure instead of killing the sweep.
+// With Options.Journal set, completed measurements are also appended to
+// a crash-safe journal and replayed on construction, so an interrupted
+// RunAll resumes instead of re-executing.
 type Runner struct {
 	opts Options
 
-	mu       sync.Mutex
-	results  map[string]map[string]sampling.Result // bench -> policy -> result
-	analyses map[string]simpoint.Analysis
-	inflight map[string]*sync.WaitGroup // bench+"\x00"+policy
-	sem      chan struct{}
+	mu         sync.Mutex
+	results    map[string]map[string]sampling.Result // bench -> policy -> result
+	analyses   map[string]simpoint.Analysis
+	inflight   map[string]*sync.WaitGroup // bench+"\x00"+policyKey
+	failures   map[string]*CellFailure    // bench+"\x00"+policyKey
+	executions int
+	jr         *journal
+	sem        chan struct{}
 }
 
 // NewRunner creates a Runner.
 func NewRunner(opts Options) *Runner {
 	opts.setDefaults()
 	if opts.CkptStore == nil && !opts.CkptOff {
-		st, err := ckpt.New(ckpt.Options{Dir: opts.CkptDir})
+		st, err := ckpt.New(ckpt.Options{Dir: opts.CkptDir, Faults: faultInjector(opts.Faults)})
 		if err != nil {
 			// Checkpointing is a pure cache: an unusable directory
 			// degrades to an in-memory store, never a failed run.
@@ -87,13 +142,67 @@ func NewRunner(opts Options) *Runner {
 		}
 		opts.CkptStore = st
 	}
-	return &Runner{
+	r := &Runner{
 		opts:     opts,
 		results:  make(map[string]map[string]sampling.Result),
 		analyses: make(map[string]simpoint.Analysis),
 		inflight: make(map[string]*sync.WaitGroup),
+		failures: make(map[string]*CellFailure),
 		sem:      make(chan struct{}, opts.Parallelism),
 	}
+	if opts.Journal != "" {
+		jr, records, err := openJournal(opts.Journal, opts.Scale)
+		if err != nil {
+			// A broken journal path degrades to journal-less operation:
+			// the sweep still runs, it just can't resume.
+			r.progress("journal unavailable (%v); running without resume", err)
+		} else {
+			r.jr = jr
+			for _, rec := range records {
+				switch {
+				case rec.Kind == "result" && rec.Result != nil:
+					if r.results[rec.Bench] == nil {
+						r.results[rec.Bench] = make(map[string]sampling.Result)
+					}
+					r.results[rec.Bench][rec.Policy] = *rec.Result
+				case rec.Kind == "analysis" && rec.Analysis != nil:
+					r.analyses[rec.Bench] = *rec.Analysis
+				}
+			}
+			if len(records) > 0 {
+				r.progress("journal: resumed %d records from %s", len(records), opts.Journal)
+			}
+		}
+	}
+	return r
+}
+
+// faultInjector converts a possibly-nil *faults.Injector to the store's
+// interface without producing a typed-nil interface value.
+func faultInjector(in *faults.Injector) ckpt.FaultInjector {
+	if in == nil {
+		return nil
+	}
+	return in
+}
+
+// Close flushes and closes the run journal (a no-op without one). Call
+// it once the runner's artifacts are rendered; measurements that
+// somehow complete later fail their journal appends cleanly.
+func (r *Runner) Close() error {
+	if r.jr == nil {
+		return nil
+	}
+	return r.jr.close()
+}
+
+// Executions returns how many measurements were actually executed (as
+// opposed to served from memoisation or the journal). The crash/resume
+// tests assert a resumed run executes strictly less.
+func (r *Runner) Executions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executions
 }
 
 // Options returns the runner's effective options.
@@ -126,14 +235,19 @@ func (r *Runner) progress(format string, args ...interface{}) {
 	}
 }
 
-// store records a result under its policy name.
+// store records a result under its policy name and appends it to the
+// run journal (journal append failures cost durability, never results).
 func (r *Runner) store(bench string, res sampling.Result) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.results[bench] == nil {
 		r.results[bench] = make(map[string]sampling.Result)
 	}
 	r.results[bench][res.Policy] = res
+	jr := r.jr
+	r.mu.Unlock()
+	if jr != nil {
+		_ = jr.append(journalRecord{Kind: "result", Bench: bench, Policy: res.Policy, Result: &res})
+	}
 }
 
 // lookup returns a memoised result.
@@ -155,6 +269,9 @@ func policyKey(p sampling.Policy) string {
 
 // Run executes (or returns the memoised) measurement of a policy on a
 // benchmark. Concurrent callers of the same pair share one execution.
+// A cell that exhausted its retry ladder returns (and keeps returning)
+// its *CellFailure; a cancelled Options.Context returns the
+// cancellation error without recording a failure.
 func (r *Runner) Run(bench string, p sampling.Policy) (sampling.Result, error) {
 	key := bench + "\x00" + policyKey(p)
 	for {
@@ -162,6 +279,10 @@ func (r *Runner) Run(bench string, p sampling.Policy) (sampling.Result, error) {
 			return res, nil
 		}
 		r.mu.Lock()
+		if f, failed := r.failures[key]; failed {
+			r.mu.Unlock()
+			return sampling.Result{}, f
+		}
 		if wg, busy := r.inflight[key]; busy {
 			r.mu.Unlock()
 			wg.Wait()
@@ -173,7 +294,7 @@ func (r *Runner) Run(bench string, p sampling.Policy) (sampling.Result, error) {
 		r.mu.Unlock()
 
 		r.sem <- struct{}{}
-		res, err := r.execute(bench, p)
+		res, err := r.executeGuarded(bench, p, key)
 		<-r.sem
 
 		r.mu.Lock()
@@ -187,11 +308,118 @@ func (r *Runner) Run(bench string, p sampling.Policy) (sampling.Result, error) {
 	}
 }
 
+// executeGuarded drives the retry ladder for one measurement: isolated
+// attempts with optional deadlines, exponential backoff between them,
+// and a recorded CellFailure when the ladder is exhausted. Context
+// cancellation short-circuits everything and is never recorded — a
+// resumed run must retry cells the user interrupted.
+func (r *Runner) executeGuarded(bench string, p sampling.Policy, key string) (sampling.Result, error) {
+	ctx := r.opts.Context
+	attempts := r.opts.Retries + 1
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			backoff := 5 * time.Millisecond << uint(attempt-1)
+			if backoff > 50*time.Millisecond {
+				backoff = 50 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return sampling.Result{}, ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return sampling.Result{}, err
+		}
+		res, err := r.attempt(ctx, bench, p, attempt)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// The base context died (SIGINT), not the attempt deadline.
+			return sampling.Result{}, ctx.Err()
+		}
+		lastErr = err
+		r.progress("retry %-14s %s: attempt %d/%d failed: %v",
+			bench, p.Name(), attempt+1, attempts, err)
+	}
+	fail := &CellFailure{
+		Bench:    bench,
+		Policy:   policyKey(p),
+		Kind:     classifyAttempt(lastErr),
+		Attempts: attempts,
+		Msg:      lastErr.Error(),
+	}
+	r.mu.Lock()
+	r.failures[key] = fail
+	r.mu.Unlock()
+	r.progress("FAILED %-12s %s: %s after %d attempts", bench, p.Name(), fail.Kind, attempts)
+	return sampling.Result{}, fail
+}
+
+// attempt runs one isolated measurement attempt: a child goroutine with
+// a recover guard, raced against the per-attempt deadline. On overrun
+// the child is abandoned — it parks on the buffered channel and exits;
+// since executions are deterministic and stores idempotent, a late
+// completion is harmless.
+func (r *Runner) attempt(ctx context.Context, bench string, p sampling.Policy, attempt int) (sampling.Result, error) {
+	var injected faults.Kind
+	if r.opts.Faults != nil {
+		injected = r.opts.Faults.RunFault(bench, policyKey(p), attempt)
+		if injected == faults.RunError {
+			return sampling.Result{}, fmt.Errorf("%w: run-error %s/%s attempt %d",
+				faults.ErrInjected, bench, policyKey(p), attempt)
+		}
+	}
+	if r.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opts.Timeout)
+		defer cancel()
+	}
+	type outcome struct {
+		res sampling.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				ch <- outcome{err: fmt.Errorf("%w: %v\n%s", errPanic, v, debug.Stack())}
+			}
+		}()
+		switch injected {
+		case faults.RunPanic:
+			panic(fmt.Sprintf("injected fault: run-panic %s/%s attempt %d", bench, policyKey(p), attempt))
+		case faults.RunHang:
+			// Model a wedged measurement: hold the attempt until its
+			// deadline trips, then exit when the context is released.
+			<-ctx.Done()
+			ch <- outcome{err: ctx.Err()}
+			return
+		}
+		res, err := r.execute(bench, p)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil && errors.Is(o.err, context.DeadlineExceeded) {
+			return sampling.Result{}, fmt.Errorf("attempt deadline (%v) exceeded: %w", r.opts.Timeout, o.err)
+		}
+		return o.res, o.err
+	case <-ctx.Done():
+		return sampling.Result{}, fmt.Errorf("attempt deadline (%v) exceeded: %w", r.opts.Timeout, ctx.Err())
+	}
+}
+
 func (r *Runner) execute(bench string, p sampling.Policy) (sampling.Result, error) {
 	spec, err := workload.ByName(bench)
 	if err != nil {
 		return sampling.Result{}, err
 	}
+	r.mu.Lock()
+	r.executions++
+	r.mu.Unlock()
 	// SimPoint is special-cased: one execution produces both accounting
 	// variants and the analysis for Table 2.
 	if sp, ok := p.(simpoint.Policy); ok {
@@ -223,6 +451,19 @@ func (r *Runner) runSimPoint(spec workload.Spec, p simpoint.Policy) (sampling.Re
 	profCost := s.Meter().Report(s.Scale())
 	s.ResetMeter()
 
+	// Memoise and journal the analysis before the results: a journal
+	// torn between them must leave the results missing, not the
+	// analysis. Replayed results without an analysis would let Table 2
+	// read a zero analysis while Run() is satisfied from memo; replayed
+	// analysis without results just re-executes the pipeline.
+	r.mu.Lock()
+	r.analyses[spec.Name] = an
+	jr := r.jr
+	r.mu.Unlock()
+	if jr != nil {
+		_ = jr.append(journalRecord{Kind: "analysis", Bench: spec.Name, Analysis: &an})
+	}
+
 	// Measurement pass (shared by both accounting variants).
 	noProf := p
 	noProf.ChargeProfiling = false
@@ -246,10 +487,6 @@ func (r *Runner) runSimPoint(spec workload.Spec, p simpoint.Policy) (sampling.Re
 		resWith.Cost.Instrs[i] += profCost.Instrs[i]
 	}
 	r.store(spec.Name, resWith)
-
-	r.mu.Lock()
-	r.analyses[spec.Name] = an
-	r.mu.Unlock()
 	r.progress("done %-14s SimPoint (k=%d, ipc=%.4f)", spec.Name, an.K, res.EstIPC)
 
 	if p.ChargeProfiling {
@@ -326,7 +563,11 @@ func (r *Runner) Baseline(bench string) (sampling.Result, error) {
 }
 
 // RunAll executes a set of policies over the whole benchmark subset in
-// parallel and returns benchmark -> policy name -> result.
+// parallel and returns benchmark -> policy name -> result. Cell
+// failures do not abort the sweep: every other cell still completes,
+// the failures stay queryable via Failures()/FailureFor, and rendering
+// marks the holes explicitly. Only context cancellation (and other
+// non-cell errors, e.g. an unknown benchmark name) aborts.
 func (r *Runner) RunAll(policies []sampling.Policy) (map[string]map[string]sampling.Result, error) {
 	type job struct {
 		bench  string
@@ -351,9 +592,14 @@ func (r *Runner) RunAll(policies []sampling.Policy) (map[string]map[string]sampl
 	wg.Wait()
 	close(errs)
 	for err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		var cf *CellFailure
+		if errors.As(err, &cf) {
+			continue // recorded; the cell renders as FAILED
+		}
+		return nil, err
 	}
 	out := make(map[string]map[string]sampling.Result, len(r.opts.Benchmarks))
 	r.mu.Lock()

@@ -1,13 +1,26 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"text/tabwriter"
 
+	"repro/internal/sampling"
 	"repro/internal/timing"
 	"repro/internal/workload"
 )
+
+// RenderArtifacts renders the compact artifact bundle the robustness
+// harnesses compare byte-for-byte: Table 2 (exercises the SimPoint
+// analysis and baseline paths) and Figure 8 (a full RunAll matrix).
+func RenderArtifacts(r *Runner, w io.Writer) error {
+	if err := Table2(r, w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return Figure8(r, w)
+}
 
 // Table1 renders the timing-simulator configuration (Table 1).
 func Table1(w io.Writer) error {
@@ -33,16 +46,24 @@ func Table2(r *Runner, w io.Writer) error {
 			return err
 		}
 		an, err := r.Analysis(bench)
-		if err != nil {
+		if err == nil {
+			var base sampling.Result
+			if base, err = r.Baseline(bench); err == nil {
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\n",
+					spec.Name, spec.RefInput, spec.PaperGInstr,
+					base.Instructions, spec.PaperSimPoints, len(an.Points))
+				continue
+			}
+		}
+		// An unrecoverable cell renders as an explicit marker rather
+		// than aborting the table; anything but a recorded cell
+		// failure (e.g. cancellation) still propagates.
+		var cf *CellFailure
+		if !errors.As(err, &cf) {
 			return err
 		}
-		base, err := r.Baseline(bench)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\n",
-			spec.Name, spec.RefInput, spec.PaperGInstr,
-			base.Instructions, spec.PaperSimPoints, len(an.Points))
+		fmt.Fprintf(tw, "%s\t%s\t%d\tFAILED(%s)\t%d\t-\n",
+			spec.Name, spec.RefInput, spec.PaperGInstr, cf.Kind, spec.PaperSimPoints)
 	}
 	return tw.Flush()
 }

@@ -1,0 +1,330 @@
+// Package faults is a deterministic, seed-driven fault injector for the
+// robustness harness. It simulates the partial failures a production-
+// scale experiment sweep meets — disk read/write/fsync errors and
+// torn or bit-flipped bytes in the checkpoint disk tier, snapshot-decode
+// corruption, and per-(benchmark, policy) run failures (panics, hangs,
+// transient errors) — without any real flaky hardware.
+//
+// Every decision is a pure function of (seed, fault kind, site key,
+// per-site sequence number), so a schedule is reproducible from its seed
+// alone and, crucially, independent of goroutine interleaving: two runs
+// of the same parallel sweep draw identical verdicts at every site even
+// though the sites are visited in different global orders.
+//
+// The injector only produces *healable* classes of damage when the plan
+// keeps run-level faults below the runner's retry budget: disk-tier
+// faults always degrade to cache misses (the store re-executes), and
+// corrupted checkpoint bytes are caught by the snapshot digest footer.
+// check.FaultEquivalence pins the resulting contract — under any such
+// schedule the rendered artifacts are byte-identical to a fault-free
+// run; faults may only cost wall-clock, never bits.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind names one injectable fault class.
+type Kind string
+
+const (
+	// DiskRead fails a checkpoint disk-tier open/read outright.
+	DiskRead Kind = "disk-read"
+	// DiskWrite fails a checkpoint disk-tier write outright.
+	DiskWrite Kind = "disk-write"
+	// DiskSync fails the fsync before a checkpoint file is committed.
+	DiskSync Kind = "disk-sync"
+	// CorruptRead flips or truncates bytes while a checkpoint is read,
+	// so the snapshot digest (or a structural length check) must catch it.
+	CorruptRead Kind = "corrupt-read"
+	// TornWrite silently drops the tail of a checkpoint file while it is
+	// written — the classic torn write a crash mid-write leaves behind.
+	TornWrite Kind = "torn-write"
+	// RunPanic panics a (benchmark, policy) measurement attempt.
+	RunPanic Kind = "run-panic"
+	// RunHang blocks a measurement attempt until its deadline expires.
+	RunHang Kind = "run-hang"
+	// RunError fails a measurement attempt with a transient error.
+	RunError Kind = "run-error"
+)
+
+// ErrInjected marks every error produced by an Injector, so callers can
+// classify injected faults as transient (errors.Is).
+var ErrInjected = errors.New("injected fault")
+
+// Plan sets per-kind firing rates. Disk-tier rates are probabilities per
+// operation; RunFaultRate is the probability that a (benchmark, policy)
+// cell suffers a run-level fault on each of its first RunFaultAttempts
+// attempts. A plan is healable by a runner configured with
+// retries >= RunFaultAttempts: disk faults always degrade to cache
+// misses, and run faults stop firing once the attempt index reaches
+// RunFaultAttempts.
+type Plan struct {
+	DiskRead    float64
+	DiskWrite   float64
+	DiskSync    float64
+	CorruptRead float64
+	TornWrite   float64
+	// RunFaultRate is the per-attempt probability of a run-level fault
+	// (panic, hang, or transient error, chosen deterministically).
+	RunFaultRate float64
+	// RunFaultAttempts is how many leading attempts of a cell may fault;
+	// attempts >= RunFaultAttempts never fault, so a bounded retry heals.
+	RunFaultAttempts int
+}
+
+// DefaultPlan is the schedule the fault-equivalence matrix runs: high
+// enough rates that every kind fires in a small sweep, transient by
+// construction (one faulting attempt per cell).
+func DefaultPlan() Plan {
+	return Plan{
+		DiskRead:         0.25,
+		DiskWrite:        0.25,
+		DiskSync:         0.2,
+		CorruptRead:      0.3,
+		TornWrite:        0.25,
+		RunFaultRate:     0.75,
+		RunFaultAttempts: 1,
+	}
+}
+
+// Injector draws deterministic fault verdicts. Safe for concurrent use.
+type Injector struct {
+	seed uint64
+	plan Plan
+
+	mu    sync.Mutex
+	seq   map[string]uint64
+	fired map[Kind]uint64
+}
+
+// New creates an injector for one seed and plan.
+func New(seed uint64, plan Plan) *Injector {
+	return &Injector{
+		seed:  seed,
+		plan:  plan,
+		seq:   make(map[string]uint64),
+		fired: make(map[Kind]uint64),
+	}
+}
+
+// Seed returns the injector's seed.
+func (in *Injector) Seed() uint64 { return in.seed }
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash derives the verdict word for one (kind, key, n) site. It is the
+// only source of randomness: decisions never depend on global state, so
+// they are stable under any goroutine interleaving.
+func (in *Injector) hash(kind Kind, key string, n uint64) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 0x100000001b3
+		}
+		h = (h ^ 0xff) * 0x100000001b3
+	}
+	mix(string(kind))
+	mix(key)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (n >> (8 * i) & 0xff)) * 0x100000001b3
+	}
+	return splitmix64(h ^ splitmix64(in.seed))
+}
+
+// frac maps a hash word to [0, 1).
+func frac(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// next returns the per-(kind, key) sequence number, so repeated
+// operations on one site (e.g. retried reads of one file) draw fresh,
+// still-deterministic verdicts.
+func (in *Injector) next(kind Kind, key string) uint64 {
+	sk := string(kind) + "\x00" + key
+	in.mu.Lock()
+	n := in.seq[sk]
+	in.seq[sk] = n + 1
+	in.mu.Unlock()
+	return n
+}
+
+func (in *Injector) note(kind Kind) {
+	in.mu.Lock()
+	in.fired[kind]++
+	in.mu.Unlock()
+}
+
+// roll draws a verdict for one operation at a site; the returned hash is
+// valid only when the fault fires.
+func (in *Injector) roll(kind Kind, key string, rate float64) (uint64, bool) {
+	if rate <= 0 {
+		return 0, false
+	}
+	h := in.hash(kind, key, in.next(kind, key))
+	if frac(h) >= rate {
+		return 0, false
+	}
+	in.note(kind)
+	return h, true
+}
+
+// Fired returns how many faults of each kind have fired so far.
+func (in *Injector) Fired() map[Kind]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Kind]uint64, len(in.fired))
+	for k, v := range in.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// String summarises the fired counts, sorted by kind.
+func (in *Injector) String() string {
+	fired := in.Fired()
+	kinds := make([]string, 0, len(fired))
+	for k := range fired {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults(seed=%d", in.seed)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, fired[Kind(k)])
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// DiskFault implements the checkpoint store's disk-fault hook: op is
+// "read", "write", or "sync". A non-nil return is the injected failure.
+func (in *Injector) DiskFault(op, name string) error {
+	var kind Kind
+	var rate float64
+	switch op {
+	case "read":
+		kind, rate = DiskRead, in.plan.DiskRead
+	case "write":
+		kind, rate = DiskWrite, in.plan.DiskWrite
+	case "sync":
+		kind, rate = DiskSync, in.plan.DiskSync
+	default:
+		return nil
+	}
+	if _, hit := in.roll(kind, name, rate); hit {
+		return fmt.Errorf("%w: %s %s", ErrInjected, op, name)
+	}
+	return nil
+}
+
+// CorruptReader wraps a checkpoint read stream. When the verdict fires
+// it either flips one byte or truncates the stream at a deterministic
+// offset inside the first 2 KiB — always within a serialized snapshot's
+// digest-protected prefix, so the corruption is detectable.
+func (in *Injector) CorruptReader(name string, r io.Reader) io.Reader {
+	h, hit := in.roll(CorruptRead, name, in.plan.CorruptRead)
+	if !hit {
+		return r
+	}
+	offset := int64(16 + h%2032) // within [16, 2048)
+	if h&(1<<60) != 0 {
+		return &truncatingReader{r: r, remain: offset}
+	}
+	return &flippingReader{r: r, offset: offset}
+}
+
+// CorruptWriter wraps a checkpoint write stream. When the verdict fires
+// the stream is silently truncated at a deterministic offset — a torn
+// write: the caller believes the write succeeded and the corrupt file is
+// only discovered (and healed to a miss) by a later read.
+func (in *Injector) CorruptWriter(name string, w io.Writer) io.Writer {
+	h, hit := in.roll(TornWrite, name, in.plan.TornWrite)
+	if !hit {
+		return w
+	}
+	return &tornWriter{w: w, remain: int64(16 + h%2032)}
+}
+
+// RunFault returns the fault a (benchmark, policy) measurement attempt
+// suffers: RunPanic, RunHang, RunError, or "" for none. Attempts at or
+// beyond the plan's RunFaultAttempts never fault, so a runner with at
+// least that many retries always heals.
+func (in *Injector) RunFault(bench, policy string, attempt int) Kind {
+	if attempt < 0 || attempt >= in.plan.RunFaultAttempts {
+		return ""
+	}
+	h := in.hash("run", bench+"\x00"+policy, uint64(attempt))
+	if frac(h) >= in.plan.RunFaultRate {
+		return ""
+	}
+	kind := [...]Kind{RunPanic, RunHang, RunError}[(h>>7)%3]
+	in.note(kind)
+	return kind
+}
+
+// flippingReader XORs one byte at a fixed stream offset.
+type flippingReader struct {
+	r      io.Reader
+	offset int64
+	pos    int64
+}
+
+func (f *flippingReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if i := f.offset - f.pos; i >= 0 && i < int64(n) {
+		p[i] ^= 0x40
+	}
+	f.pos += int64(n)
+	return n, err
+}
+
+// truncatingReader ends the stream early.
+type truncatingReader struct {
+	r      io.Reader
+	remain int64
+}
+
+func (t *truncatingReader) Read(p []byte) (int, error) {
+	if t.remain <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > t.remain {
+		p = p[:t.remain]
+	}
+	n, err := t.r.Read(p)
+	t.remain -= int64(n)
+	return n, err
+}
+
+// tornWriter silently drops every byte past a fixed offset while
+// reporting full success to the caller.
+type tornWriter struct {
+	w      io.Writer
+	remain int64
+}
+
+func (t *tornWriter) Write(p []byte) (int, error) {
+	keep := int64(len(p))
+	if keep > t.remain {
+		keep = t.remain
+	}
+	if keep > 0 {
+		if n, err := t.w.Write(p[:keep]); err != nil {
+			return n, err
+		}
+		t.remain -= keep
+	}
+	return len(p), nil
+}

@@ -1,0 +1,188 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestDeterminismAcrossInterleavings drives two injectors with the same
+// seed and plan, one sequentially and one from racing goroutines, and
+// asserts every site draws the same verdict: decisions are functions of
+// (seed, kind, key, seq), never of global visit order.
+func TestDeterminismAcrossInterleavings(t *testing.T) {
+	t.Parallel()
+	plan := Plan{DiskRead: 0.5, RunFaultRate: 0.5, RunFaultAttempts: 2}
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	const opsPerKey = 16
+
+	sequential := New(42, plan)
+	want := make(map[string][]bool)
+	for _, k := range keys {
+		for i := 0; i < opsPerKey; i++ {
+			want[k] = append(want[k], sequential.DiskFault("read", k) != nil)
+		}
+	}
+
+	racing := New(42, plan)
+	got := make(map[string][]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			verdicts := make([]bool, opsPerKey)
+			for i := range verdicts {
+				verdicts[i] = racing.DiskFault("read", k) != nil
+			}
+			mu.Lock()
+			got[k] = verdicts
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, k := range keys {
+		for i := range want[k] {
+			if got[k][i] != want[k][i] {
+				t.Fatalf("key %q op %d: verdict %v under racing, %v sequential", k, i, got[k][i], want[k][i])
+			}
+		}
+	}
+}
+
+func TestRatesZeroAndOne(t *testing.T) {
+	t.Parallel()
+	never := New(1, Plan{})
+	always := New(1, Plan{DiskRead: 1, DiskWrite: 1, DiskSync: 1, RunFaultRate: 1, RunFaultAttempts: 1})
+	for i := 0; i < 100; i++ {
+		for _, op := range []string{"read", "write", "sync"} {
+			if err := never.DiskFault(op, "k"); err != nil {
+				t.Fatalf("zero-rate plan fired %s", op)
+			}
+			if err := always.DiskFault(op, "k"); err == nil {
+				t.Fatalf("rate-1 plan skipped %s", op)
+			}
+		}
+	}
+	if got := never.RunFault("b", "p", 0); got != "" {
+		t.Fatalf("zero-rate RunFault = %q", got)
+	}
+	if got := always.RunFault("b", "p", 0); got == "" {
+		t.Fatal("rate-1 RunFault fired nothing")
+	}
+}
+
+// TestRunFaultBounded asserts attempts at or past RunFaultAttempts never
+// fault — the property that makes every plan healable by bounded retry.
+func TestRunFaultBounded(t *testing.T) {
+	t.Parallel()
+	in := New(9, Plan{RunFaultRate: 1, RunFaultAttempts: 2})
+	for i := 0; i < 50; i++ {
+		bench := string(rune('a' + i%26))
+		if in.RunFault(bench, "policy", 2) != "" || in.RunFault(bench, "policy", 7) != "" {
+			t.Fatal("attempt >= RunFaultAttempts faulted")
+		}
+		if in.RunFault(bench, "policy", 0) == "" {
+			t.Fatal("attempt 0 at rate 1 did not fault")
+		}
+	}
+}
+
+// TestRunFaultKindsCovered checks all three run-fault kinds appear
+// across a modest sweep of cells, so an equivalence matrix at a few
+// seeds genuinely exercises panic, hang, and error healing.
+func TestRunFaultKindsCovered(t *testing.T) {
+	t.Parallel()
+	in := New(11, Plan{RunFaultRate: 1, RunFaultAttempts: 1})
+	seen := map[Kind]bool{}
+	for i := 0; i < 64; i++ {
+		bench := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		seen[in.RunFault(bench, "p", 0)] = true
+	}
+	for _, k := range []Kind{RunPanic, RunHang, RunError} {
+		if !seen[k] {
+			t.Errorf("kind %s never chosen across 64 cells", k)
+		}
+	}
+}
+
+// TestCorruptReader asserts the wrapped stream differs from the
+// original in exactly one of the two modeled ways: a single flipped
+// byte, or truncation.
+func TestCorruptReader(t *testing.T) {
+	t.Parallel()
+	in := New(5, Plan{CorruptRead: 1})
+	payload := bytes.Repeat([]byte{0xaa}, 4096)
+	sawFlip, sawTrunc := false, false
+	for i := 0; i < 64 && !(sawFlip && sawTrunc); i++ {
+		r := in.CorruptReader("k", bytes.NewReader(payload))
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case len(got) < len(payload):
+			sawTrunc = true
+			if len(got) < 16 || len(got) >= 2048 {
+				t.Fatalf("truncation at %d, want [16, 2048)", len(got))
+			}
+		case bytes.Equal(got, payload):
+			t.Fatal("rate-1 corrupt reader left the stream intact")
+		default:
+			sawFlip = true
+			diffs := 0
+			for j := range got {
+				if got[j] != payload[j] {
+					diffs++
+				}
+			}
+			if diffs != 1 {
+				t.Fatalf("flip mode changed %d bytes, want 1", diffs)
+			}
+		}
+	}
+	if !sawFlip || !sawTrunc {
+		t.Fatalf("corruption modes seen: flip=%v trunc=%v; want both", sawFlip, sawTrunc)
+	}
+}
+
+// TestTornWriter asserts the writer reports full success while the
+// sink receives only a prefix — the crash-mid-write shape.
+func TestTornWriter(t *testing.T) {
+	t.Parallel()
+	in := New(6, Plan{TornWrite: 1})
+	var sink bytes.Buffer
+	w := in.CorruptWriter("k", &sink)
+	payload := bytes.Repeat([]byte{0x55}, 4096)
+	for off := 0; off < len(payload); off += 256 {
+		n, err := w.Write(payload[off : off+256])
+		if n != 256 || err != nil {
+			t.Fatalf("torn write reported n=%d err=%v, want silent success", n, err)
+		}
+	}
+	if sink.Len() >= len(payload) || sink.Len() < 16 {
+		t.Fatalf("sink got %d bytes, want a strict prefix of %d no shorter than 16", sink.Len(), len(payload))
+	}
+	if !bytes.Equal(sink.Bytes(), payload[:sink.Len()]) {
+		t.Fatal("torn writer altered the prefix it kept")
+	}
+}
+
+func TestFiredCounts(t *testing.T) {
+	t.Parallel()
+	in := New(8, Plan{DiskRead: 1, RunFaultRate: 1, RunFaultAttempts: 1})
+	for i := 0; i < 5; i++ {
+		in.DiskFault("read", "k")
+	}
+	kind := in.RunFault("b", "p", 0)
+	fired := in.Fired()
+	if fired[DiskRead] != 5 {
+		t.Fatalf("DiskRead fired = %d, want 5", fired[DiskRead])
+	}
+	if kind == "" || fired[kind] != 1 {
+		t.Fatalf("run fault %q fired = %d, want 1", kind, fired[kind])
+	}
+}

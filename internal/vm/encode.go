@@ -127,6 +127,32 @@ func readU64s(r io.Reader, vs []uint64) error {
 	return nil
 }
 
+// readU64Slice reads count values, growing the result chunk by chunk so
+// a corrupt length field (anything up to the section cap) cannot force
+// a huge up-front allocation: a truncated stream fails after at most
+// one 512 KiB chunk instead of after a half-gigabyte make.
+func readU64Slice(r io.Reader, count uint64) ([]uint64, error) {
+	const chunk = 1 << 16
+	alloc := count
+	if alloc > chunk {
+		alloc = chunk
+	}
+	out := make([]uint64, 0, alloc)
+	for count > 0 {
+		n := count
+		if n > chunk {
+			n = chunk
+		}
+		buf := make([]uint64, n)
+		if err := readU64s(r, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+		count -= n
+	}
+	return out, nil
+}
+
 // WriteTo serialises the snapshot; it implements io.WriterTo. The
 // returned count includes the digest footer.
 func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
@@ -230,8 +256,8 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if n := count[0]; n == 0 || n > maxTLBEntries || n&(n-1) != 0 {
 		return nil, fmt.Errorf("vm: implausible snapshot TLB size %d", count[0])
 	}
-	s.tlb = make([]uint64, count[0])
-	if err := readU64s(fr, s.tlb); err != nil {
+	var err error
+	if s.tlb, err = readU64Slice(fr, count[0]); err != nil {
 		return nil, fmt.Errorf("vm: snapshot tlb: %w", err)
 	}
 	if err := readU64s(fr, count[:]); err != nil {
@@ -241,8 +267,8 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("vm: snapshot phase log %d exceeds cap %d", count[0], maxPhaseLog)
 	}
 	if count[0] > 0 {
-		pairs := make([]uint64, 2*count[0])
-		if err := readU64s(fr, pairs); err != nil {
+		pairs, err := readU64Slice(fr, 2*count[0])
+		if err != nil {
 			return nil, fmt.Errorf("vm: snapshot phase log: %w", err)
 		}
 		s.phaseLog = make([]PhaseMark, count[0])
@@ -250,7 +276,6 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 			s.phaseLog[i] = PhaseMark{Instr: pairs[2*i], Value: pairs[2*i+1]}
 		}
 	}
-	var err error
 	if s.console, err = device.DecodeConsole(fr); err != nil {
 		return nil, err
 	}
@@ -266,8 +291,8 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if count[0] > maxSavedBlocks {
 		return nil, fmt.Errorf("vm: snapshot block count %d exceeds cap %d", count[0], maxSavedBlocks)
 	}
-	pcs := make([]uint64, count[0])
-	if err := readU64s(fr, pcs); err != nil {
+	pcs, err := readU64Slice(fr, count[0])
+	if err != nil {
 		return nil, fmt.Errorf("vm: snapshot blocks: %w", err)
 	}
 	s.blocks = make([]savedBlock, len(pcs))

@@ -1,0 +1,89 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// fuzzMachine builds a deliberately tiny guest — a short store loop
+// touching a handful of pages on a small machine — so serialized
+// snapshots stay a few tens of KB and the fuzz mutator gets real
+// throughput (the mutation engine slows badly on 100KB+ inputs).
+func fuzzMachine() *Machine {
+	b := asm.NewBuilder(0x1000)
+	b.Movi(1, 40)
+	b.Movi(5, 0x8000)
+	b.Label("loop")
+	b.St(1, 5, 0)
+	b.I(isa.OpAddi, 5, 5, 512)
+	b.I(isa.OpAddi, 1, 1, -1)
+	b.Br(isa.OpBne, 1, 0, "loop")
+	b.Halt()
+	img := &asm.Image{Entry: 0x1000}
+	img.AddSegment(0x1000, b.Words())
+	m := New(Config{MemSpan: 1 << 20, TLBEntries: 16})
+	m.Load(img)
+	return m
+}
+
+// fuzzSeedSnapshot serialises a real mid-run snapshot: a structurally
+// valid input the fuzzer can mutate into every nearby corruption
+// (flipped counts, truncated sections, bad footers).
+func fuzzSeedSnapshot(f *testing.F, runFor uint64) []byte {
+	f.Helper()
+	m := fuzzMachine()
+	m.Run(runFor, nil)
+	var buf bytes.Buffer
+	if _, err := m.Snapshot().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSnapshotDecode feeds arbitrary bytes to the snapshot decoder and,
+// when they decode, to Restore. The property is total robustness: a
+// corrupted checkpoint may be rejected with an error, but it can never
+// panic the process, OOM it via an implausible length field, or put a
+// half-restored machine back into service.
+func FuzzSnapshotDecode(f *testing.F) {
+	// Valid snapshots at two points plus hand-mutated corners.
+	early := fuzzSeedSnapshot(f, 20)
+	late := fuzzSeedSnapshot(f, 120)
+	f.Add(early)
+	f.Add(late)
+	f.Add([]byte{})
+	f.Add([]byte("DSCK"))
+	f.Add(append([]byte(nil), early[:len(early)/2]...))
+	flipped := append([]byte(nil), early...)
+	flipped[len(flipped)/3] ^= 0x80
+	f.Add(flipped)
+	// A huge TLB count right after the fixed-size prefix: the decoder
+	// must fail on structure or EOF, not allocate half a gigabyte.
+	bigCount := append([]byte(nil), early...)
+	for i := 0; i < 8; i++ {
+		bigCount[8+8*(3+32)+8*17+i] = 0xff
+	}
+	f.Add(bigCount)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if snap == nil {
+			t.Fatal("nil snapshot with nil error")
+		}
+		// Digest collisions for genuinely mutated payloads are out of
+		// reach of a fuzzer; anything that decodes is byte-equal to a
+		// writer's output, so Restore must also be total.
+		m := fuzzMachine()
+		if err := m.Restore(snap); err != nil {
+			return
+		}
+		// A restored machine must be runnable.
+		m.Run(10, nil)
+	})
+}
