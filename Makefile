@@ -31,8 +31,10 @@ fuzz-smoke:
 # policy re-run across batch capacities {1,3,64,4096}, bit-identical.
 # -faults adds the fault-equivalence sweep: rendered artifacts must be
 # byte-identical to a fault-free run under seeded fault injection.
+# -obs adds the observability-invariance sweep: results and artifacts
+# must be identical with the metrics registry and trace attached.
 diffcheck:
-	$(GO) run ./cmd/diffcheck -seed 1 -n 200 -batch -faults
+	$(GO) run ./cmd/diffcheck -seed 1 -n 200 -batch -faults -obs
 
 golden-update:
 	$(GO) test ./internal/experiments -run TestGolden -update

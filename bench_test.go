@@ -26,6 +26,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sampling"
 	"repro/internal/smp"
@@ -335,6 +336,39 @@ func BenchmarkVMEventMode(b *testing.B) {
 	}
 	b.ReportMetric(float64(executed)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
+
+// benchEventObs drives event mode through core.Session — the layer the
+// observability instrumentation hooks — with or without a metrics
+// registry and transition trace attached. The On/Off pair bounds the
+// obs layer's event-mode overhead (budget: under 2%).
+func benchEventObs(b *testing.B, withObs bool) {
+	spec, _ := workload.ByName("gzip")
+	newS := func() *core.Session {
+		opts := core.Options{Scale: 20_000}
+		if withObs {
+			opts.Obs = obs.NewRegistry()
+			opts.Trace = obs.NewTransitionTrace(obs.DefaultTraceCap)
+		}
+		return core.NewSession(spec, opts)
+	}
+	s := newS()
+	sink := &vm.CountingSink{}
+	b.ResetTimer()
+	var executed uint64
+	for i := 0; i < b.N; i++ {
+		n := s.RunEvents(100_000, sink)
+		if n == 0 {
+			s = newS()
+			n = s.RunEvents(100_000, sink)
+		}
+		executed += n
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func BenchmarkVMEventModeObsOff(b *testing.B) { benchEventObs(b, false) }
+
+func BenchmarkVMEventModeObsOn(b *testing.B) { benchEventObs(b, true) }
 
 // BenchmarkRunAllEndToEnd measures a whole evaluation sweep — full
 // timing plus Dynamic Sampling over two benchmarks — through the real

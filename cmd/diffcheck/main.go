@@ -32,6 +32,12 @@
 // measurement panics, hangs, and transient errors) and its rendered
 // artifacts must be byte-identical to a fault-free run.
 //
+// The -obs flag additionally runs the observability-invariance checks:
+// every policy is replayed with a metrics registry and transition trace
+// attached and must produce bit-identical results, and the full
+// artifact bundle is rendered with and without instrumentation and must
+// be byte-identical (the obs layer must be inert).
+//
 // Program checks run seeds seed..seed+n-1. Any divergence is reported
 // with the first differing field and a disassembled window around the
 // divergence PC, and the exit status is 1; re-running with the printed
@@ -59,6 +65,7 @@ func main() {
 		ckpt  = flag.Bool("ckpt", false, "also run the checkpoint cache-equivalence check per benchmark")
 		batch = flag.Bool("batch", false, "also run event-batch invariance checks (programs and policies)")
 		fault = flag.Bool("faults", false, "also run the fault-equivalence check (seeded fault injection vs fault-free artifacts)")
+		obsf  = flag.Bool("obs", false, "also run the observability-invariance checks (metrics/trace attached vs plain, results and artifacts identical)")
 		scale = flag.Int("scale", 50_000, "benchmark scale divisor for policy determinism")
 		bench = flag.String("bench", "gzip,mcf", "comma-separated benchmarks for policy determinism (\"all\" = every benchmark)")
 		verb  = flag.Bool("v", false, "report every seed, not just failures")
@@ -71,7 +78,7 @@ func main() {
 	}
 
 	runPrograms := *mode != "policies"
-	runPolicies := *mode == "all" || *mode == "policies" || *ckpt || *batch
+	runPolicies := *mode == "all" || *mode == "policies" || *ckpt || *batch || *obsf
 	var totalInstr uint64
 
 	if runPrograms {
@@ -144,6 +151,15 @@ func main() {
 					fmt.Printf("policy batch invariance on %s: ok at scale %d\n", b, *scale)
 				}
 			}
+			if *obsf {
+				if err := check.ObsInvariance(b, opts, nil); err != nil {
+					fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+					os.Exit(1)
+				}
+				if *verb {
+					fmt.Printf("obs invariance on %s: ok at scale %d\n", b, *scale)
+				}
+			}
 		}
 		fmt.Printf("diffcheck: policy determinism ok (%s at scale %d)\n",
 			strings.Join(benches, ", "), *scale)
@@ -154,6 +170,14 @@ func main() {
 		if *batch {
 			fmt.Printf("diffcheck: batch invariance ok (%s at scale %d, batch sizes %v)\n",
 				strings.Join(benches, ", "), *scale, check.BatchSizes)
+		}
+		if *obsf {
+			if err := check.ObsArtifactInvariance(*scale*2, benches); err != nil {
+				fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("diffcheck: obs invariance ok (%s at scale %d; artifacts byte-identical with metrics attached)\n",
+				strings.Join(benches, ", "), *scale)
 		}
 	}
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/hostcost"
+	"repro/internal/obs"
 	"repro/internal/sampling"
 	"repro/internal/simpoint"
 	"repro/internal/vm"
@@ -46,6 +47,7 @@ func main() {
 	faultSeed := flag.Uint64("faults", 0, "inject deterministic disk faults into the checkpoint store with this seed (0 = off; needs -ckpt-dir)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /metrics.json and /transitions on this address (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -103,9 +105,29 @@ func main() {
 	}
 
 	opts := core.Options{Scale: *scale, CkptStride: *ckptStride}
+
+	// Observability is opt-in and inert: results are bit-identical with
+	// or without it (check.ObsInvariance pins this).
+	var reg *obs.Registry
+	var trace *obs.TransitionTrace
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		trace = obs.NewTransitionTrace(obs.DefaultTraceCap)
+		obs.PublishExpvar(reg)
+		srv, err := obs.Serve(*metricsAddr, reg, trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dynsim: serving metrics on http://%s/metrics\n", srv.Addr())
+		opts.Obs = reg
+		opts.Trace = trace
+	}
+
 	var store *ckpt.Store
 	if *ckptDir != "" {
-		ckptOpts := ckpt.Options{Dir: *ckptDir}
+		ckptOpts := ckpt.Options{Dir: *ckptDir, Obs: reg}
 		if *faultSeed != 0 {
 			ckptOpts.Faults = faults.New(*faultSeed, faults.DefaultPlan())
 		}
@@ -128,6 +150,10 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// The session checks the context at every Run-call boundary, so a
+	// signal or deadline stops the simulation itself promptly rather
+	// than only abandoning the goroutine.
+	opts.Context = ctx
 
 	s := core.NewSession(spec, opts)
 	type outcome struct {
@@ -143,6 +169,12 @@ func main() {
 	select {
 	case o := <-ch:
 		res, err = o.res, o.err
+		if err == nil && s.Interrupted() != nil {
+			// The run lost the race: it observed the cancelled context
+			// and returned a partial result before the select did.
+			fmt.Fprintln(os.Stderr, "dynsim: interrupted")
+			os.Exit(130)
+		}
 	case <-ctx.Done():
 		if ctx.Err() == context.DeadlineExceeded {
 			fmt.Fprintf(os.Stderr, "dynsim: run exceeded -timeout %v\n", *timeout)

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 type experiment struct {
@@ -55,6 +56,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-measurement-attempt deadline (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts for a failed measurement (0 = default 2, negative = none)")
 	faultSeed := flag.Uint64("faults", 0, "inject deterministic faults with this seed (0 = off; robustness testing)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /metrics.json and /transitions on this address during the sweep (e.g. 127.0.0.1:9090)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -111,6 +113,22 @@ func main() {
 	}
 	if *out != "" {
 		opts.Journal = filepath.Join(*out, "journal.jsonl")
+	}
+	// Observability is opt-in and inert: rendered artifacts are
+	// byte-identical with or without it (check.ObsArtifactInvariance).
+	// With -out, Runner.Close appends the final metrics snapshot to the
+	// run journal.
+	if *metricsAddr != "" {
+		opts.Obs = obs.NewRegistry()
+		opts.Trace = obs.NewTransitionTrace(obs.DefaultTraceCap)
+		obs.PublishExpvar(opts.Obs)
+		srv, err := obs.Serve(*metricsAddr, opts.Obs, opts.Trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "repro: serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 	r := experiments.NewRunner(opts)
 	defer r.Close()

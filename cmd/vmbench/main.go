@@ -23,7 +23,9 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sampling"
 	"repro/internal/timing"
 	"repro/internal/vm"
@@ -54,8 +56,14 @@ type report struct {
 	Baseline    modes   `json:"baseline_pre_batching"`
 	Current     modes   `json:"current"`
 	Speedup     modes   `json:"speedup"`
-	MeasureSecs float64 `json:"seconds_per_measurement"`
-	Runs        int     `json:"runs_best_of"`
+	EventObsOff float64 `json:"event_obs_off_minstr_s"`
+	EventObsOn  float64 `json:"event_obs_on_minstr_s"`
+	// ObsOverheadPct is the event-mode throughput cost of attaching the
+	// metrics registry and transition trace; the obs layer's budget is
+	// under 2%.
+	ObsOverheadPct float64 `json:"obs_overhead_pct"`
+	MeasureSecs    float64 `json:"seconds_per_measurement"`
+	Runs           int     `json:"runs_best_of"`
 }
 
 // measureVM runs gzip in 100k-instruction slices for at least d and
@@ -84,6 +92,39 @@ func measureVM(d time.Duration, makeSink func() vm.Sink) float64 {
 		if n == 0 {
 			m, sink = newM()
 			n = m.Run(100_000, sink)
+		}
+		executed += n
+	}
+	return float64(executed) / time.Since(start).Seconds() / 1e6
+}
+
+// measureEventObs runs gzip in event mode through core.Session — the
+// layer the obs instrumentation hooks — in 100k-instruction slices for
+// at least d and returns Minstr/s. With withObs, a metrics registry and
+// transition trace are attached, so the difference against the plain
+// run is the whole observability overhead.
+func measureEventObs(d time.Duration, withObs bool) float64 {
+	spec, err := workload.ByName("gzip")
+	if err != nil {
+		fatal(err)
+	}
+	newS := func() *core.Session {
+		opts := core.Options{Scale: 20_000}
+		if withObs {
+			opts.Obs = obs.NewRegistry()
+			opts.Trace = obs.NewTransitionTrace(obs.DefaultTraceCap)
+		}
+		return core.NewSession(spec, opts)
+	}
+	s := newS()
+	sink := &vm.CountingSink{}
+	var executed uint64
+	start := time.Now()
+	for time.Since(start) < d {
+		n := s.RunEvents(100_000, sink)
+		if n == 0 {
+			s = newS()
+			n = s.RunEvents(100_000, sink)
 		}
 		executed += n
 	}
@@ -160,6 +201,10 @@ func main() {
 	rep.Current.Detail = bestOf(*runs, func() float64 {
 		return measureVM(*per, func() vm.Sink { return timing.NewCore(timing.DefaultConfig()) })
 	})
+	fmt.Fprintln(os.Stderr, "vmbench: event mode, obs detached vs attached...")
+	rep.EventObsOff = bestOf(*runs, func() float64 { return measureEventObs(*per, false) })
+	rep.EventObsOn = bestOf(*runs, func() float64 { return measureEventObs(*per, true) })
+	rep.ObsOverheadPct = (1 - rep.EventObsOn/rep.EventObsOff) * 100
 	fmt.Fprintln(os.Stderr, "vmbench: end-to-end RunAll sweep...")
 	rep.Current.RunAll = bestOf(*runs, func() float64 { return measureRunAll(*per, *runallScale) })
 
@@ -185,7 +230,7 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("vmbench: fast %.1f  event %.1f  detail %.1f  runall %.1f Minstr/s (event speedup %.2fx) -> %s\n",
+	fmt.Printf("vmbench: fast %.1f  event %.1f  detail %.1f  runall %.1f Minstr/s (event speedup %.2fx, obs overhead %.2f%%) -> %s\n",
 		rep.Current.Fast, rep.Current.Event, rep.Current.Detail, rep.Current.RunAll,
-		rep.Speedup.Event, *out)
+		rep.Speedup.Event, rep.ObsOverheadPct, *out)
 }

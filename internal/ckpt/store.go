@@ -24,8 +24,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -72,6 +74,10 @@ type Options struct {
 	// Faults, when non-nil, injects deterministic disk-tier faults
 	// (see FaultInjector); used by the robustness harness.
 	Faults FaultInjector
+	// Obs, when non-nil, mirrors the Stats counters into a metrics
+	// registry and times disk loads/writes. Write-only: never consulted
+	// by cache decisions, so hit/miss behaviour is identical without it.
+	Obs *obs.Registry
 }
 
 // maxWriteFails is how many consecutive disk-write failures the store
@@ -129,6 +135,44 @@ type Store struct {
 	writeFails int
 	diskOff    bool
 	stats      Stats
+	ob         storeObs
+}
+
+// storeObs mirrors the Stats counters into a metrics registry. All
+// handles come from the nil-safe obs API, so they are resolved
+// unconditionally (a nil registry yields no-op handles) and call sites
+// need no guards.
+type storeObs struct {
+	hits, misses       *obs.Counter
+	nearestHits        *obs.Counter
+	nearestMisses      *obs.Counter
+	puts, dupPuts      *obs.Counter
+	evictions          *obs.Counter
+	diskLoads          *obs.Counter
+	diskWrites         *obs.Counter
+	diskErrors         *obs.Counter
+	writeFails         *obs.Counter
+	discards           *obs.Counter
+	loadSecs, writeSec *obs.Histogram
+}
+
+func newStoreObs(reg *obs.Registry) storeObs {
+	return storeObs{
+		hits:          reg.Counter("ckpt_store_hits_total"),
+		misses:        reg.Counter("ckpt_store_misses_total"),
+		nearestHits:   reg.Counter("ckpt_store_nearest_hits_total"),
+		nearestMisses: reg.Counter("ckpt_store_nearest_misses_total"),
+		puts:          reg.Counter("ckpt_store_puts_total"),
+		dupPuts:       reg.Counter("ckpt_store_dup_puts_total"),
+		evictions:     reg.Counter("ckpt_store_evictions_total"),
+		diskLoads:     reg.Counter("ckpt_store_disk_loads_total"),
+		diskWrites:    reg.Counter("ckpt_store_disk_writes_total"),
+		diskErrors:    reg.Counter("ckpt_store_disk_errors_total"),
+		writeFails:    reg.Counter("ckpt_store_write_fails_total"),
+		discards:      reg.Counter("ckpt_store_discards_total"),
+		loadSecs:      reg.Histogram("ckpt_disk_load_seconds", obs.TimeBuckets),
+		writeSec:      reg.Histogram("ckpt_disk_write_seconds", obs.TimeBuckets),
+	}
 }
 
 // New creates a store. With Options.Dir set, the directory is created
@@ -144,6 +188,7 @@ func New(opts Options) (*Store, error) {
 		lru:  list.New(),
 		refs: make(map[*mem.Page]int),
 		disk: make(map[Key]bool),
+		ob:   newStoreObs(opts.Obs),
 	}
 	if opts.Dir != "" {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
@@ -218,9 +263,11 @@ func (s *Store) Lookup(k Key) (*vm.Snapshot, bool) {
 	defer s.mu.Unlock()
 	if snap := s.lookupLocked(k); snap != nil {
 		s.stats.Hits++
+		s.ob.hits.Inc()
 		return snap, true
 	}
 	s.stats.Misses++
+	s.ob.misses.Inc()
 	return nil, false
 }
 
@@ -246,9 +293,14 @@ func (s *Store) loadAnyLocked(k Key) (*vm.Snapshot, error) {
 	if !s.disk[k] {
 		return nil, nil
 	}
+	loadStart := time.Now()
 	snap, err := s.loadLocked(k)
+	if err == nil {
+		s.ob.loadSecs.Observe(time.Since(loadStart).Seconds())
+	}
 	if err != nil {
 		s.stats.DiskErrors++
+		s.ob.diskErrors.Inc()
 		delete(s.disk, k)
 		if errors.Is(err, ErrCorrupt) && s.opts.Dir != "" {
 			// The bytes are untrustworthy no matter how often they are
@@ -289,6 +341,7 @@ func (s *Store) loadLocked(k Key) (*vm.Snapshot, error) {
 		return nil, fmt.Errorf("%w: %s holds instr %d", ErrCorrupt, k, snap.Instructions())
 	}
 	s.stats.DiskLoads++
+	s.ob.diskLoads.Inc()
 	return snap, nil
 }
 
@@ -302,9 +355,11 @@ func (s *Store) Load(k Key) (*vm.Snapshot, error) {
 	snap, err := s.loadAnyLocked(k)
 	if snap != nil {
 		s.stats.Hits++
+		s.ob.hits.Inc()
 		return snap, nil
 	}
 	s.stats.Misses++
+	s.ob.misses.Inc()
 	return nil, err
 }
 
@@ -327,6 +382,7 @@ func (s *Store) Discard(k Key) {
 		}
 	}
 	s.stats.Discards++
+	s.ob.discards.Inc()
 }
 
 // Nearest returns the stored snapshot with the largest instruction
@@ -350,12 +406,14 @@ func (s *Store) Nearest(k Key) (*vm.Snapshot, uint64, bool) {
 		}
 		if !found {
 			s.stats.NearestMisses++
+			s.ob.nearestMisses.Inc()
 			return nil, 0, false
 		}
 		bk := k
 		bk.Instr = best
 		if snap := s.lookupLocked(bk); snap != nil {
 			s.stats.NearestHits++
+			s.ob.nearestHits.Inc()
 			return snap, best, true
 		}
 		// The best candidate was a corrupt disk entry (now dropped);
@@ -371,15 +429,20 @@ func (s *Store) Put(k Key, snap *vm.Snapshot) {
 	defer s.mu.Unlock()
 	if _, ok := s.mem[k]; ok {
 		s.stats.DupPuts++
+		s.ob.dupPuts.Inc()
 		return
 	}
 	onDisk := s.disk[k]
 	s.stats.Puts++
+	s.ob.puts.Inc()
 	s.insertLocked(k, snap)
 	if s.opts.Dir != "" && !onDisk && !s.diskOff {
+		writeStart := time.Now()
 		if err := s.writeLocked(k, snap); err != nil {
 			s.stats.DiskErrors++
 			s.stats.WriteFails++
+			s.ob.diskErrors.Inc()
+			s.ob.writeFails.Inc()
 			s.writeFails++
 			if s.writeFails >= maxWriteFails {
 				// Degradation ladder, rung one: the disk tier keeps
@@ -392,6 +455,8 @@ func (s *Store) Put(k Key, snap *vm.Snapshot) {
 		} else {
 			s.writeFails = 0
 			s.stats.DiskWrites++
+			s.ob.diskWrites.Inc()
+			s.ob.writeSec.Observe(time.Since(writeStart).Seconds())
 			s.disk[k] = true
 		}
 	}
@@ -445,6 +510,7 @@ func (s *Store) insertLocked(k Key, snap *vm.Snapshot) {
 		delete(s.mem, victim.key)
 		s.bytes -= s.refundLocked(victim.snap)
 		s.stats.Evictions++
+		s.ob.evictions.Inc()
 	}
 }
 

@@ -31,6 +31,8 @@ package core
 // pre-warmed — the cache-equivalence tests pin this.
 
 import (
+	"time"
+
 	"repro/internal/ckpt"
 	"repro/internal/hostcost"
 	"repro/internal/vm"
@@ -124,6 +126,7 @@ func (s *Session) fastHit(n uint64) bool {
 	if !ok {
 		return false
 	}
+	restoreStart := time.Now()
 	if err := s.machine.Restore(snap); err != nil {
 		// A snapshot that decoded cleanly but failed to restore is
 		// unusable for everyone: discard it from every tier and degrade
@@ -131,6 +134,9 @@ func (s *Session) fastHit(n uint64) bool {
 		// machine is untouched.
 		s.ckpt.Discard(key)
 		return false
+	}
+	if s.ob != nil {
+		s.ob.restore(time.Since(restoreStart), n)
 	}
 	s.executed += n
 	s.charge(hostcost.Fast, n)
@@ -164,6 +170,7 @@ func (s *Session) FastForwardVia(store *ckpt.Store, target uint64) uint64 {
 		if !ok || instr <= s.executed {
 			break
 		}
+		restoreStart := time.Now()
 		if err := s.machine.Restore(snap); err != nil {
 			// Degradation ladder: a snapshot that decoded cleanly but
 			// failed to restore is discarded from every tier, then the
@@ -173,19 +180,21 @@ func (s *Session) FastForwardVia(store *ckpt.Store, target uint64) uint64 {
 			store.Discard(s.ckptKey(instr))
 			continue
 		}
+		if s.ob != nil {
+			s.ob.restore(time.Since(restoreStart), instr-s.executed)
+		}
 		s.executed = instr
 		s.canonical = instr%s.interval == 0
 		break
 	}
-	for s.executed < target && !s.machine.Halted() {
+	for s.executed < target && !s.machine.Halted() && !s.stopped() {
 		n := target - s.executed
 		if s.ckpt != nil && s.canonical && !s.feedback &&
 			s.executed%s.interval == 0 && n > s.interval {
 			n = s.interval
 		}
 		s.noteRun(n)
-		ex := s.machine.Run(n, nil)
-		s.executed += ex
+		ex := s.runObserved(hostcost.Fast, n, nil)
 		if ex == 0 {
 			break
 		}

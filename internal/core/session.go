@@ -15,11 +15,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/asm"
 	"repro/internal/ckpt"
 	"repro/internal/hostcost"
+	"repro/internal/obs"
 	"repro/internal/timing"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -48,6 +50,20 @@ type Options struct {
 	// CkptStride is the deposit stride in base intervals (default 1:
 	// every interval boundary).
 	CkptStride uint64
+	// Obs mirrors execution into a metrics registry (per-mode
+	// instruction/stat/wall-clock counters, checkpoint restore timings,
+	// host-cost charges). Purely observational: simulation results are
+	// bit-identical with it attached or nil (check.ObsInvariance).
+	Obs *obs.Registry
+	// Trace records every execution-mode transition (fast↔event↔detail)
+	// with instruction position, trigger-statistic deltas and wall-clock
+	// residency. Nil disables tracing; independent of Obs.
+	Trace *obs.TransitionTrace
+	// Context, when non-nil, bounds stepping: once cancelled, every Run
+	// method returns 0 promptly and Interrupted() reports the cause.
+	// Results produced after cancellation are partial and must be
+	// discarded by the caller.
+	Context context.Context
 }
 
 func (o *Options) setDefaults() {
@@ -73,6 +89,11 @@ type Session struct {
 	executed uint64
 	lastMode hostcost.Mode
 	feedback bool
+
+	// Observability and cancellation (see obs.go).
+	ob          *sessionObs
+	ctx         context.Context
+	interrupted bool
 
 	// Checkpoint participation (see ckpt.go).
 	ckpt      *ckpt.Store
@@ -101,7 +122,10 @@ func NewSession(spec workload.Spec, opts Options) *Session {
 		interval: interval,
 		meter:    hostcost.NewMeter(costTable(opts)),
 		img:      img,
+		ctx:      opts.Context,
 	}
+	s.ob = newSessionObs(opts.Obs, opts.Trace, spec.Name)
+	s.meter.SetObs(opts.Obs)
 	if opts.Ckpt != nil {
 		stride := opts.CkptStride
 		if stride == 0 {
@@ -243,6 +267,7 @@ func (s *Session) EnableTimingFeedback() {
 // as opposed to "SimPoint+prof").
 func (s *Session) ResetMeter() {
 	s.meter = hostcost.NewMeter(costTable(s.opts))
+	s.meter.SetObs(s.opts.Obs)
 }
 
 // RunFastFree executes up to n instructions at full VM speed without
@@ -251,10 +276,12 @@ func (s *Session) ResetMeter() {
 // rather than by re-executing, so only a fixed restore overhead is
 // charged (by the caller, via Meter().ChargeRestore).
 func (s *Session) RunFastFree(n uint64) uint64 {
+	if s.stopped() {
+		return 0
+	}
 	n = s.clamp(n)
 	s.noteRun(n)
-	ex := s.machine.Run(n, nil)
-	s.executed += ex
+	ex := s.runObserved(hostcost.Fast, n, nil)
 	s.maybeDeposit()
 	return ex
 }
@@ -264,13 +291,15 @@ func (s *Session) RunFastFree(n uint64) uint64 {
 // state is already stored is satisfied by a restore instead of
 // execution (bit-identical state and statistics, identical charge).
 func (s *Session) RunFast(n uint64) uint64 {
+	if s.stopped() {
+		return 0
+	}
 	n = s.clamp(n)
 	s.noteRun(n)
 	if s.fastHit(n) {
 		return n
 	}
-	ex := s.machine.Run(n, nil)
-	s.executed += ex
+	ex := s.runObserved(hostcost.Fast, n, nil)
 	s.charge(hostcost.Fast, ex)
 	s.maybeDeposit()
 	return ex
@@ -280,10 +309,12 @@ func (s *Session) RunFast(n uint64) uint64 {
 // the event stream updates caches, TLBs and the branch predictor but no
 // timing is modelled (SMARTS's inter-unit mode).
 func (s *Session) RunFuncWarm(n uint64) uint64 {
+	if s.stopped() {
+		return 0
+	}
 	n = s.clamp(n)
 	s.noteRun(n)
-	ex := s.machine.Run(n, s.core.WarmSink())
-	s.executed += ex
+	ex := s.runObserved(hostcost.FuncWarm, n, s.core.WarmSink())
 	s.charge(hostcost.FuncWarm, ex)
 	s.maybeDeposit()
 	return ex
@@ -293,10 +324,12 @@ func (s *Session) RunFuncWarm(n uint64) uint64 {
 // without recording a measurement (microarchitectural warm-up before a
 // sample).
 func (s *Session) RunDetailWarm(n uint64) uint64 {
+	if s.stopped() {
+		return 0
+	}
 	n = s.clamp(n)
 	s.noteRun(n)
-	ex := s.machine.Run(n, s.core)
-	s.executed += ex
+	ex := s.runObserved(hostcost.DetailWarm, n, s.core)
 	s.charge(hostcost.DetailWarm, ex)
 	s.maybeDeposit()
 	return ex
@@ -305,11 +338,13 @@ func (s *Session) RunDetailWarm(n uint64) uint64 {
 // RunTimed executes up to n instructions through the detailed core and
 // returns the measured IPC of the interval.
 func (s *Session) RunTimed(n uint64) (ipc float64, executed uint64) {
+	if s.stopped() {
+		return 0, 0
+	}
 	n = s.clamp(n)
 	s.noteRun(n)
 	from := s.core.Marker()
-	ex := s.machine.Run(n, s.core)
-	s.executed += ex
+	ex := s.runObserved(hostcost.Timing, n, s.core)
 	s.charge(hostcost.Timing, ex)
 	s.maybeDeposit()
 	return timing.IPC(from, s.core.Marker()), ex
@@ -318,10 +353,12 @@ func (s *Session) RunTimed(n uint64) (ipc float64, executed uint64) {
 // RunProfile executes up to n instructions delivering events to a
 // caller-supplied profiler (charged at BBV-profiling cost).
 func (s *Session) RunProfile(n uint64, sink vm.Sink) uint64 {
+	if s.stopped() {
+		return 0
+	}
 	n = s.clamp(n)
 	s.noteRun(n)
-	ex := s.machine.Run(n, sink)
-	s.executed += ex
+	ex := s.runObserved(hostcost.BBVProfile, n, sink)
 	s.charge(hostcost.BBVProfile, ex)
 	s.maybeDeposit()
 	return ex
@@ -330,10 +367,12 @@ func (s *Session) RunProfile(n uint64, sink vm.Sink) uint64 {
 // RunEvents executes up to n instructions delivering events to an
 // arbitrary sink at plain event-generation cost (used by diagnostics).
 func (s *Session) RunEvents(n uint64, sink vm.Sink) uint64 {
+	if s.stopped() {
+		return 0
+	}
 	n = s.clamp(n)
 	s.noteRun(n)
-	ex := s.machine.Run(n, sink)
-	s.executed += ex
+	ex := s.runObserved(hostcost.Event, n, sink)
 	s.charge(hostcost.Event, ex)
 	s.maybeDeposit()
 	return ex

@@ -31,7 +31,7 @@ const journalVersion = 1
 // journalRecord is one line of the journal. Kind selects which of the
 // remaining fields are meaningful.
 type journalRecord struct {
-	Kind string `json:"kind"` // "header" | "result" | "analysis"
+	Kind string `json:"kind"` // "header" | "result" | "analysis" | "metrics"
 
 	// Header fields: everything that must match for old records to be
 	// valid in this run. Scale changes every measured value; the
@@ -43,6 +43,12 @@ type journalRecord struct {
 	Policy   string             `json:"policy,omitempty"`
 	Result   *sampling.Result   `json:"result,omitempty"`
 	Analysis *simpoint.Analysis `json:"analysis,omitempty"`
+
+	// Metrics is the final obs-registry snapshot Runner.Close appends
+	// when an obs registry is attached: what the sweep cost, alongside
+	// what it produced. Replay ignores these records (wall-clock metrics
+	// are not resumable state).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // journal appends records to the run journal. Safe for concurrent use;

@@ -14,11 +14,13 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/sampling"
 	"repro/internal/simpoint"
 	"repro/internal/vm"
@@ -83,6 +85,17 @@ type Options struct {
 	// interrupted RunAll resumes from completed cells. An unusable
 	// journal path degrades to journal-less operation.
 	Journal string
+
+	// Obs mirrors the sweep into a metrics registry: cell lifecycle
+	// counters here, plus everything the sessions, policies, cost meters
+	// and the checkpoint store record (see internal/obs). Purely
+	// observational — rendered artifacts are byte-identical with it
+	// attached or nil. With a Journal, Close appends a final metrics
+	// snapshot record.
+	Obs *obs.Registry
+	// Trace records execution-mode transitions across every session the
+	// runner builds. Nil disables tracing.
+	Trace *obs.TransitionTrace
 }
 
 func (o *Options) setDefaults() {
@@ -128,13 +141,57 @@ type Runner struct {
 	executions int
 	jr         *journal
 	sem        chan struct{}
+
+	// progMu serializes Options.Progress writes: progress lines are
+	// emitted from every measurement goroutine concurrently, and an
+	// io.Writer (a file, a bytes.Buffer) is not assumed to be safe for
+	// concurrent use.
+	progMu sync.Mutex
+
+	// live counts measurements currently executing (including attempts
+	// whose deadline already expired) and maxLive its high-water mark;
+	// the concurrency-bound test asserts maxLive never exceeds
+	// Parallelism.
+	live    atomic.Int32
+	maxLive atomic.Int32
+
+	ob runnerObs
+}
+
+// runnerObs holds the sweep-lifecycle metric handles. All handles come
+// from the nil-safe obs API, so with no registry attached every
+// increment is a no-op and call sites need no guards.
+type runnerObs struct {
+	started   *obs.Counter // measurements actually executed
+	memoHits  *obs.Counter // Run calls served from memoisation
+	retried   *obs.Counter // failed attempts that got another try
+	failed    *obs.Counter // cells that exhausted the retry ladder
+	healed    *obs.Counter // cells that succeeded after >=1 retry
+	abandoned *obs.Counter // timed-out attempts whose goroutine didn't drain
+	replayed  *obs.Counter // journal records consumed on construction
+	appends   *obs.Counter // journal records appended
+	running   *obs.Gauge   // measurements executing right now
+}
+
+func newRunnerObs(reg *obs.Registry) runnerObs {
+	return runnerObs{
+		started:   reg.Counter("experiments_cells_started_total"),
+		memoHits:  reg.Counter("experiments_memo_hits_total"),
+		retried:   reg.Counter("experiments_attempts_retried_total"),
+		failed:    reg.Counter("experiments_cells_failed_total"),
+		healed:    reg.Counter("experiments_cells_healed_total"),
+		abandoned: reg.Counter("experiments_attempts_abandoned_total"),
+		replayed:  reg.Counter("experiments_journal_replayed_total"),
+		appends:   reg.Counter("experiments_journal_appends_total"),
+		running:   reg.Gauge("experiments_cells_running"),
+	}
 }
 
 // NewRunner creates a Runner.
 func NewRunner(opts Options) *Runner {
 	opts.setDefaults()
 	if opts.CkptStore == nil && !opts.CkptOff {
-		st, err := ckpt.New(ckpt.Options{Dir: opts.CkptDir, Faults: faultInjector(opts.Faults)})
+		st, err := ckpt.New(ckpt.Options{Dir: opts.CkptDir, Faults: faultInjector(opts.Faults), Obs: opts.Obs})
 		if err != nil {
 			// Checkpointing is a pure cache: an unusable directory
 			// degrades to an in-memory store, never a failed run.
@@ -149,6 +206,7 @@ func NewRunner(opts Options) *Runner {
 		inflight: make(map[string]*sync.WaitGroup),
 		failures: make(map[string]*CellFailure),
 		sem:      make(chan struct{}, opts.Parallelism),
+		ob:       newRunnerObs(opts.Obs),
 	}
 	if opts.Journal != "" {
 		jr, records, err := openJournal(opts.Journal, opts.Scale)
@@ -158,6 +216,7 @@ func NewRunner(opts Options) *Runner {
 			r.progress("journal unavailable (%v); running without resume", err)
 		} else {
 			r.jr = jr
+			r.ob.replayed.Add(uint64(len(records)))
 			for _, rec := range records {
 				switch {
 				case rec.Kind == "result" && rec.Result != nil:
@@ -188,10 +247,19 @@ func faultInjector(in *faults.Injector) ckpt.FaultInjector {
 
 // Close flushes and closes the run journal (a no-op without one). Call
 // it once the runner's artifacts are rendered; measurements that
-// somehow complete later fail their journal appends cleanly.
+// somehow complete later fail their journal appends cleanly. With an
+// obs registry attached, a final metrics snapshot is appended first so
+// the journal records what the sweep cost, not only what it produced;
+// replay ignores the record (only "result"/"analysis" are consumed),
+// so resumability is unaffected.
 func (r *Runner) Close() error {
 	if r.jr == nil {
 		return nil
+	}
+	if r.opts.Obs != nil {
+		if err := r.jr.append(journalRecord{Kind: "metrics", Metrics: r.opts.Obs.Snapshot()}); err == nil {
+			r.ob.appends.Inc()
+		}
 	}
 	return r.jr.close()
 }
@@ -211,12 +279,20 @@ func (r *Runner) Options() Options { return r.opts }
 // Benchmarks returns the benchmark subset in suite order.
 func (r *Runner) Benchmarks() []string { return r.opts.Benchmarks }
 
-func (r *Runner) sessionOptions() core.Options {
+// sessionOptions builds the core options for one measurement attempt.
+// ctx is the attempt's context (base context plus per-attempt
+// deadline): plumbing it into the session makes a timed-out attempt's
+// simulation stop at its next Run-call boundary instead of burning a
+// Parallelism slot to completion.
+func (r *Runner) sessionOptions(ctx context.Context) core.Options {
 	return core.Options{
 		Scale:      r.opts.Scale,
 		VM:         r.opts.VM,
 		Ckpt:       r.opts.CkptStore,
 		CkptStride: r.opts.CkptStride,
+		Obs:        r.opts.Obs,
+		Trace:      r.opts.Trace,
+		Context:    ctx,
 	}
 }
 
@@ -230,9 +306,12 @@ func (r *Runner) CkptStats() (ckpt.Stats, bool) {
 }
 
 func (r *Runner) progress(format string, args ...interface{}) {
-	if r.opts.Progress != nil {
-		fmt.Fprintf(r.opts.Progress, format+"\n", args...)
+	if r.opts.Progress == nil {
+		return
 	}
+	r.progMu.Lock()
+	defer r.progMu.Unlock()
+	fmt.Fprintf(r.opts.Progress, format+"\n", args...)
 }
 
 // store records a result under its policy name and appends it to the
@@ -246,7 +325,9 @@ func (r *Runner) store(bench string, res sampling.Result) {
 	jr := r.jr
 	r.mu.Unlock()
 	if jr != nil {
-		_ = jr.append(journalRecord{Kind: "result", Bench: bench, Policy: res.Policy, Result: &res})
+		if err := jr.append(journalRecord{Kind: "result", Bench: bench, Policy: res.Policy, Result: &res}); err == nil {
+			r.ob.appends.Inc()
+		}
 	}
 }
 
@@ -276,6 +357,7 @@ func (r *Runner) Run(bench string, p sampling.Policy) (sampling.Result, error) {
 	key := bench + "\x00" + policyKey(p)
 	for {
 		if res, ok := r.lookup(bench, p.Name()); ok {
+			r.ob.memoHits.Inc()
 			return res, nil
 		}
 		r.mu.Lock()
@@ -334,6 +416,9 @@ func (r *Runner) executeGuarded(bench string, p sampling.Policy, key string) (sa
 		}
 		res, err := r.attempt(ctx, bench, p, attempt)
 		if err == nil {
+			if attempt > 0 {
+				r.ob.healed.Inc()
+			}
 			return res, nil
 		}
 		if ctx.Err() != nil {
@@ -341,9 +426,13 @@ func (r *Runner) executeGuarded(bench string, p sampling.Policy, key string) (sa
 			return sampling.Result{}, ctx.Err()
 		}
 		lastErr = err
+		if attempt+1 < attempts {
+			r.ob.retried.Inc()
+		}
 		r.progress("retry %-14s %s: attempt %d/%d failed: %v",
 			bench, p.Name(), attempt+1, attempts, err)
 	}
+	r.ob.failed.Inc()
 	fail := &CellFailure{
 		Bench:    bench,
 		Policy:   policyKey(p),
@@ -358,11 +447,22 @@ func (r *Runner) executeGuarded(bench string, p sampling.Policy, key string) (sa
 	return sampling.Result{}, fail
 }
 
+// abandonGrace bounds how long a timed-out attempt waits for its child
+// goroutine to observe the cancelled context and drain. Sessions check
+// the context at every Run-call boundary, so a healthy child exits
+// within one interval of simulation; a child that overruns the grace is
+// wedged somewhere that can't observe cancellation and is abandoned
+// (counted in experiments_attempts_abandoned_total).
+const abandonGrace = time.Second
+
 // attempt runs one isolated measurement attempt: a child goroutine with
-// a recover guard, raced against the per-attempt deadline. On overrun
-// the child is abandoned — it parks on the buffered channel and exits;
-// since executions are deterministic and stores idempotent, a late
-// completion is harmless.
+// a recover guard, raced against the per-attempt deadline. The attempt
+// context reaches the child's session, so on overrun the child stops at
+// its next Run-call boundary and the attempt waits (briefly) for it to
+// drain before releasing the caller's Parallelism slot — a timed-out
+// cell no longer keeps simulating concurrently with its own retry. A
+// child that fails to drain is abandoned; since executions are
+// deterministic and stores idempotent, its late completion is harmless.
 func (r *Runner) attempt(ctx context.Context, bench string, p sampling.Policy, attempt int) (sampling.Result, error) {
 	var injected faults.Kind
 	if r.opts.Faults != nil {
@@ -398,7 +498,7 @@ func (r *Runner) attempt(ctx context.Context, bench string, p sampling.Policy, a
 			ch <- outcome{err: ctx.Err()}
 			return
 		}
-		res, err := r.execute(bench, p)
+		res, err := r.execute(ctx, bench, p)
 		ch <- outcome{res, err}
 	}()
 	select {
@@ -408,27 +508,58 @@ func (r *Runner) attempt(ctx context.Context, bench string, p sampling.Policy, a
 		}
 		return o.res, o.err
 	case <-ctx.Done():
+		drain := time.NewTimer(abandonGrace)
+		defer drain.Stop()
+		select {
+		case <-ch:
+		case <-drain.C:
+			r.ob.abandoned.Inc()
+		}
 		return sampling.Result{}, fmt.Errorf("attempt deadline (%v) exceeded: %w", r.opts.Timeout, ctx.Err())
 	}
 }
 
-func (r *Runner) execute(bench string, p sampling.Policy) (sampling.Result, error) {
+// noteLive tracks the number of concurrently-executing measurements and
+// its high-water mark; the returned func undoes the increment. The
+// concurrency-bound test asserts maxLive never exceeds Parallelism.
+func (r *Runner) noteLive() func() {
+	n := r.live.Add(1)
+	for {
+		m := r.maxLive.Load()
+		if n <= m || r.maxLive.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	r.ob.running.Set(float64(n))
+	return func() {
+		r.ob.running.Set(float64(r.live.Add(-1)))
+	}
+}
+
+func (r *Runner) execute(ctx context.Context, bench string, p sampling.Policy) (sampling.Result, error) {
 	spec, err := workload.ByName(bench)
 	if err != nil {
 		return sampling.Result{}, err
 	}
+	defer r.noteLive()()
+	r.ob.started.Inc()
 	r.mu.Lock()
 	r.executions++
 	r.mu.Unlock()
 	// SimPoint is special-cased: one execution produces both accounting
 	// variants and the analysis for Table 2.
 	if sp, ok := p.(simpoint.Policy); ok {
-		return r.runSimPoint(spec, sp)
+		return r.runSimPoint(ctx, spec, sp)
 	}
-	s := core.NewSession(spec, r.sessionOptions())
+	s := core.NewSession(spec, r.sessionOptions(ctx))
 	res, err := p.Run(s)
 	if err != nil {
 		return sampling.Result{}, fmt.Errorf("experiments: %s on %s: %w", p.Name(), bench, err)
+	}
+	if ierr := s.Interrupted(); ierr != nil {
+		// The attempt deadline cut the measurement short: the result is
+		// partial and must not be memoised or journaled.
+		return sampling.Result{}, ierr
 	}
 	r.store(bench, res)
 	r.progress("done %-14s %s (ipc=%.4f, %d samples)", bench, res.Policy, res.EstIPC, res.Samples)
@@ -438,14 +569,19 @@ func (r *Runner) execute(bench string, p sampling.Policy) (sampling.Result, erro
 // runSimPoint runs the SimPoint pipeline once, storing both "SimPoint"
 // and "SimPoint+prof" results plus the analysis, then returns the one
 // that was asked for.
-func (r *Runner) runSimPoint(spec workload.Spec, p simpoint.Policy) (sampling.Result, error) {
-	s := core.NewSession(spec, r.sessionOptions())
+func (r *Runner) runSimPoint(ctx context.Context, spec workload.Spec, p simpoint.Policy) (sampling.Result, error) {
+	s := core.NewSession(spec, r.sessionOptions(ctx))
 
 	withProf := p
 	withProf.ChargeProfiling = true
 	an, err := withProf.Analyse(s)
 	if err != nil {
 		return sampling.Result{}, err
+	}
+	if ierr := s.Interrupted(); ierr != nil {
+		// The deadline cut the profiling pass short: the analysis is
+		// bogus and must not be memoised or journaled.
+		return sampling.Result{}, ierr
 	}
 	profiledInstr := s.Executed()
 	profCost := s.Meter().Report(s.Scale())
@@ -461,7 +597,9 @@ func (r *Runner) runSimPoint(spec workload.Spec, p simpoint.Policy) (sampling.Re
 	jr := r.jr
 	r.mu.Unlock()
 	if jr != nil {
-		_ = jr.append(journalRecord{Kind: "analysis", Bench: spec.Name, Analysis: &an})
+		if err := jr.append(journalRecord{Kind: "analysis", Bench: spec.Name, Analysis: &an}); err == nil {
+			r.ob.appends.Inc()
+		}
 	}
 
 	// Measurement pass (shared by both accounting variants).
@@ -470,6 +608,9 @@ func (r *Runner) runSimPoint(spec workload.Spec, p simpoint.Policy) (sampling.Re
 	res, err := measureSimPoints(s, an, noProf)
 	if err != nil {
 		return sampling.Result{}, err
+	}
+	if ierr := s.Interrupted(); ierr != nil {
+		return sampling.Result{}, ierr
 	}
 	res.Instructions = profiledInstr
 

@@ -30,6 +30,8 @@ package hostcost
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Mode is the execution mode being charged.
@@ -103,10 +105,39 @@ type Meter struct {
 	instrs   [NumModes]uint64
 	switches uint64
 	restores uint64
+	obs      *meterObs
+}
+
+// meterObs mirrors the meter's charges into a metrics registry. The
+// handles are resolved once in SetObs so every Charge is atomic-only.
+type meterObs struct {
+	instr    [NumModes]*obs.Counter
+	units    [NumModes]*obs.Gauge
+	switches *obs.Counter
+	restores *obs.Counter
 }
 
 // NewMeter creates a meter with the given cost table.
 func NewMeter(table CostTable) *Meter { return &Meter{table: table} }
+
+// SetObs mirrors every subsequent charge into reg (nil detaches). The
+// mirror is write-only: it never feeds back into the cost accounting,
+// so modelled results are identical with or without it.
+func (m *Meter) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		m.obs = nil
+		return
+	}
+	mo := &meterObs{
+		switches: reg.Counter("hostcost_mode_switches_total"),
+		restores: reg.Counter("hostcost_restores_total"),
+	}
+	for md := Mode(0); md < numModes; md++ {
+		mo.instr[md] = reg.Counter("hostcost_instructions_total", "mode", md.String())
+		mo.units[md] = reg.Gauge("hostcost_units", "mode", md.String())
+	}
+	m.obs = mo
+}
 
 // Charge accounts n instructions executed in mode.
 func (m *Meter) Charge(mode Mode, n uint64) {
@@ -114,18 +145,28 @@ func (m *Meter) Charge(mode Mode, n uint64) {
 	m.units += u
 	m.byMode[mode] += u
 	m.instrs[mode] += n
+	if m.obs != nil {
+		m.obs.instr[mode].Add(n)
+		m.obs.units[mode].Add(u)
+	}
 }
 
 // ChargeSwitch accounts one transition into an instrumented mode.
 func (m *Meter) ChargeSwitch() {
 	m.units += m.table.SwitchOverhead
 	m.switches++
+	if m.obs != nil {
+		m.obs.switches.Inc()
+	}
 }
 
 // ChargeRestore accounts one checkpoint restore.
 func (m *Meter) ChargeRestore() {
 	m.units += m.table.RestoreOverhead
 	m.restores++
+	if m.obs != nil {
+		m.obs.restores.Inc()
+	}
 }
 
 // ChargeUnits accounts raw host work (e.g. the SimPoint clustering tool).

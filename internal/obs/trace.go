@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// DefaultTraceCap is the transition ring capacity the commands use.
+const DefaultTraceCap = 4096
+
+// Transition records one execution-mode switch: which benchmark's
+// session switched, from which mode to which, at what guest instruction
+// count, how long (host wall-clock) the session spent in the mode being
+// left, and the trigger-statistic deltas (the paper's CPU / EXC / I/O
+// monitored variables) accumulated while in it. The first transition of
+// a session reports From "init" with zero deltas.
+type Transition struct {
+	Seq    uint64 `json:"seq"`
+	Bench  string `json:"bench"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Instr  uint64 `json:"instr"`
+	WallNs int64  `json:"wall_ns"`
+	// Trigger statistic deltas over the residency in From.
+	DeltaTCInval    uint64 `json:"d_tc_inval"`
+	DeltaExceptions uint64 `json:"d_exceptions"`
+	DeltaIOOps      uint64 `json:"d_io_ops"`
+}
+
+// TransitionTrace is a bounded ring of mode transitions, safe for
+// concurrent recording from parallel sessions. A nil *TransitionTrace
+// discards records. The ring keeps the most recent capacity entries;
+// Total counts every record ever made.
+type TransitionTrace struct {
+	mu    sync.Mutex
+	buf   []Transition
+	next  int
+	total uint64
+}
+
+// NewTransitionTrace creates a trace retaining up to capacity entries
+// (capacity ≤ 0 uses DefaultTraceCap).
+func NewTransitionTrace(capacity int) *TransitionTrace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &TransitionTrace{buf: make([]Transition, 0, capacity)}
+}
+
+// Record appends one transition, assigning its Seq.
+func (t *TransitionTrace) Record(tr Transition) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	tr.Seq = t.total
+	t.total++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, tr)
+	} else {
+		t.buf[t.next] = tr
+		t.next = (t.next + 1) % cap(t.buf)
+	}
+	t.mu.Unlock()
+}
+
+// Total returns how many transitions were ever recorded (0 on nil).
+func (t *TransitionTrace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the retained transitions, oldest first.
+func (t *TransitionTrace) Snapshot() []Transition {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Transition, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// WriteJSON emits {"total": N, "transitions": [...]} (oldest first).
+func (t *TransitionTrace) WriteJSON(w io.Writer) error {
+	payload := struct {
+		Total       uint64       `json:"total"`
+		Transitions []Transition `json:"transitions"`
+	}{t.Total(), t.Snapshot()}
+	if payload.Transitions == nil {
+		payload.Transitions = []Transition{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(payload)
+}

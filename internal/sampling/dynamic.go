@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -98,6 +99,16 @@ func (p Dynamic) Run(s *core.Session) (Result, error) {
 	var est Estimator
 	res := Result{Policy: p.Name(), Bench: s.Spec().Name}
 
+	// Decision bookkeeping for the observability layer; all handles are
+	// nil-safe no-ops when the session has no registry.
+	po := newPolicyObs(s, p.Name())
+	reg := s.Obs()
+	detectC := reg.Counter("sampling_decisions_total", "policy", p.Name(), "decision", "detect")
+	maxfuncC := reg.Counter("sampling_decisions_total", "policy", p.Name(), "decision", "maxfunc")
+	steadyC := reg.Counter("sampling_decisions_total", "policy", p.Name(), "decision", "steady")
+	gapHist := reg.Histogram("sampling_functional_gap_intervals",
+		obs.ExpBuckets(1, 2, 10), "policy", p.Name())
+
 	metrics := append([]vm.Metric{p.Metric}, p.ExtraMetrics...)
 	timing := false
 	numFunc := 0
@@ -120,6 +131,7 @@ func (p Dynamic) Run(s *core.Session) (Result, error) {
 			}
 			est.Sample(ipc, ex)
 			res.Samples++
+			po.sample(ipc)
 			if p.TraceSamples {
 				res.Trace = append(res.Trace, IntervalTrace{Index: idx, IPC: ipc})
 			}
@@ -155,10 +167,16 @@ func (p Dynamic) Run(s *core.Session) (Result, error) {
 			if triggered {
 				timing = true
 				res.Detections = append(res.Detections, idx)
+				detectC.Inc()
+				gapHist.Observe(float64(numFunc))
 			} else {
 				numFunc++
 				if p.MaxFunc > 0 && numFunc >= p.MaxFunc {
 					timing = true
+					maxfuncC.Inc()
+					gapHist.Observe(float64(numFunc))
+				} else {
+					steadyC.Inc()
 				}
 			}
 		}

@@ -19,6 +19,7 @@ func (FullTiming) Name() string { return "Full timing" }
 func (p FullTiming) Run(s *core.Session) (Result, error) {
 	var est Estimator
 	res := Result{Policy: p.Name(), Bench: s.Spec().Name}
+	po := newPolicyObs(s, p.Name())
 	interval := s.IntervalLen()
 	prev := s.Machine().Stats()
 	var idx uint64
@@ -29,6 +30,7 @@ func (p FullTiming) Run(s *core.Session) (Result, error) {
 		}
 		est.Sample(ipc, ex)
 		res.Samples++
+		po.sample(ipc)
 		if int(idx) < p.TraceIntervals {
 			delta, now := s.StatsDelta(prev)
 			prev = now

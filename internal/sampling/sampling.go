@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hostcost"
+	"repro/internal/obs"
 )
 
 // Policy is one sampling strategy.
@@ -152,6 +153,31 @@ func (e *Estimator) IPC() float64 {
 
 // Weight returns the total attributed instruction weight.
 func (e *Estimator) Weight() float64 { return e.instrs + e.pending }
+
+// policyObs bundles the metric handles every sampling policy shares: a
+// sample counter and a distribution of measured interval IPCs, both
+// labelled with the policy name. Handles come from the nil-safe obs
+// API, so a session without a registry yields no-op handles and the
+// policies need no guards. Purely observational — never read back.
+type policyObs struct {
+	samples     *obs.Counter
+	intervalIPC *obs.Histogram
+}
+
+func newPolicyObs(s *core.Session, policy string) policyObs {
+	reg := s.Obs()
+	return policyObs{
+		samples: reg.Counter("sampling_samples_total", "policy", policy),
+		intervalIPC: reg.Histogram("sampling_interval_ipc",
+			obs.LinearBuckets(0.25, 0.25, 16), "policy", policy),
+	}
+}
+
+// sample records one timing measurement.
+func (po policyObs) sample(ipc float64) {
+	po.samples.Inc()
+	po.intervalIPC.Observe(ipc)
+}
 
 // errPolicy wraps policy construction errors discovered at Run time.
 func errPolicy(name, format string, args ...interface{}) error {

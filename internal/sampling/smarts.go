@@ -55,6 +55,7 @@ func (p SMARTS) Run(s *core.Session) (Result, error) {
 	var est Estimator
 	var cpiStream stats.Stream
 	res := Result{Policy: p.Name(), Bench: s.Spec().Name}
+	po := newPolicyObs(s, p.Name())
 	warm := p.UnitInstr * p.DetailWarmUnits
 	funcWarm := p.PeriodInstr - p.UnitInstr - warm
 	for !s.Done() {
@@ -73,6 +74,7 @@ func (p SMARTS) Run(s *core.Session) (Result, error) {
 			cpiStream.Add(1 / ipc)
 		}
 		res.Samples++
+		po.sample(ipc)
 	}
 	// SMARTS's headline property: a statistical confidence bound on the
 	// estimate (Wunderlich et al. report +-p% at 99.7% confidence).

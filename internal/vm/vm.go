@@ -160,6 +160,11 @@ type Machine struct {
 	// calls so steady-state event generation allocates nothing.
 	batch []Event
 
+	// batchFlushes counts event-batch deliveries (OnEvents calls).
+	// Purely host-side observability, like tcStamp: never serialized,
+	// never restored, and excluded from Stats and state comparisons.
+	batchFlushes uint64
+
 	stats    Stats
 	phaseLog []PhaseMark
 	exitCode uint64
@@ -214,6 +219,11 @@ func (m *Machine) Load(img *asm.Image) {
 
 // Stats returns a copy of the machine's cumulative internal statistics.
 func (m *Machine) Stats() Stats { return m.stats }
+
+// BatchFlushes returns the cumulative number of event-batch deliveries
+// (BatchSink.OnEvents calls) this machine has made — a host-side
+// observability counter, not part of guest-visible Stats.
+func (m *Machine) BatchFlushes() uint64 { return m.batchFlushes }
 
 // PC returns the current program counter.
 func (m *Machine) PC() uint64 { return m.pc }
@@ -482,6 +492,7 @@ func (m *Machine) run(n uint64, bs BatchSink) uint64 {
 			// events first — translation mutates statistics and can
 			// panic on illegal code.
 			if bi != 0 {
+				m.batchFlushes++
 				bs.OnEvents(batch[:bi])
 				bi = 0
 			}
@@ -495,6 +506,7 @@ func (m *Machine) run(n uint64, bs BatchSink) uint64 {
 			if executed == n {
 				m.pc = pc
 				if bi != 0 {
+					m.batchFlushes++
 					bs.OnEvents(batch[:bi])
 					bi = 0
 				}
@@ -629,6 +641,7 @@ func (m *Machine) run(n uint64, bs BatchSink) uint64 {
 				// caught up to the retired-instruction stream, exactly as
 				// it is under per-event delivery.
 				if bi != 0 {
+					m.batchFlushes++
 					bs.OnEvents(batch[:bi])
 					bi = 0
 				}
@@ -662,6 +675,7 @@ func (m *Machine) run(n uint64, bs BatchSink) uint64 {
 				e.Rd, e.Rs1, e.Rs2, e.Taken = in.rd, in.rs1, in.rs2, taken
 				bi++
 				if bi == len(batch) {
+					m.batchFlushes++
 					bs.OnEvents(batch)
 					bi = 0
 				}
@@ -670,6 +684,7 @@ func (m *Machine) run(n uint64, bs BatchSink) uint64 {
 			if m.halted {
 				m.pc = pc
 				if bi != 0 {
+					m.batchFlushes++
 					bs.OnEvents(batch[:bi])
 					bi = 0
 				}
@@ -687,6 +702,7 @@ func (m *Machine) run(n uint64, bs BatchSink) uint64 {
 						next = cur.chainBlk
 					} else {
 						if bi != 0 {
+							m.batchFlushes++
 							bs.OnEvents(batch[:bi])
 							bi = 0
 						}
@@ -713,6 +729,7 @@ func (m *Machine) run(n uint64, bs BatchSink) uint64 {
 		}
 	}
 	if bi != 0 {
+		m.batchFlushes++
 		bs.OnEvents(batch[:bi])
 	}
 	return executed
