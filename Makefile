@@ -33,8 +33,11 @@ fuzz-smoke:
 # byte-identical to a fault-free run under seeded fault injection.
 # -obs adds the observability-invariance sweep: results and artifacts
 # must be identical with the metrics registry and trace attached.
+# -sweep adds the sweep-equivalence check: a distributed multi-worker
+# sweep (with seeded worker kills and network faults) must produce a
+# merged journal byte-identical to sequential execution.
 diffcheck:
-	$(GO) run ./cmd/diffcheck -seed 1 -n 200 -batch -faults -obs
+	$(GO) run ./cmd/diffcheck -seed 1 -n 200 -batch -faults -obs -sweep
 
 golden-update:
 	$(GO) test ./internal/experiments -run TestGolden -update

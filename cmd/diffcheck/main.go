@@ -58,17 +58,19 @@ import (
 
 func main() {
 	var (
-		seed  = flag.Uint64("seed", 1, "first generator seed")
-		n     = flag.Uint64("n", 100, "number of generated programs to check")
-		chunk = flag.Uint64("chunk", 0, "sync-point granularity in instructions (0 = default 509)")
-		mode  = flag.String("mode", "all", "all|lockstep|snapshot|serialize|replay|chunks|policies")
-		ckpt  = flag.Bool("ckpt", false, "also run the checkpoint cache-equivalence check per benchmark")
-		batch = flag.Bool("batch", false, "also run event-batch invariance checks (programs and policies)")
-		fault = flag.Bool("faults", false, "also run the fault-equivalence check (seeded fault injection vs fault-free artifacts)")
-		obsf  = flag.Bool("obs", false, "also run the observability-invariance checks (metrics/trace attached vs plain, results and artifacts identical)")
-		scale = flag.Int("scale", 50_000, "benchmark scale divisor for policy determinism")
-		bench = flag.String("bench", "gzip,mcf", "comma-separated benchmarks for policy determinism (\"all\" = every benchmark)")
-		verb  = flag.Bool("v", false, "report every seed, not just failures")
+		seed         = flag.Uint64("seed", 1, "first generator seed")
+		n            = flag.Uint64("n", 100, "number of generated programs to check")
+		chunk        = flag.Uint64("chunk", 0, "sync-point granularity in instructions (0 = default 509)")
+		mode         = flag.String("mode", "all", "all|lockstep|snapshot|serialize|replay|chunks|policies")
+		ckpt         = flag.Bool("ckpt", false, "also run the checkpoint cache-equivalence check per benchmark")
+		batch        = flag.Bool("batch", false, "also run event-batch invariance checks (programs and policies)")
+		fault        = flag.Bool("faults", false, "also run the fault-equivalence check (seeded fault injection vs fault-free artifacts)")
+		sweep        = flag.Bool("sweep", false, "also run the sweep-equivalence check (distributed coordinator/worker sweep vs sequential artifacts)")
+		sweepWorkers = flag.String("sweep-workers", "", "comma-separated worker counts for -sweep (default 2,4)")
+		obsf         = flag.Bool("obs", false, "also run the observability-invariance checks (metrics/trace attached vs plain, results and artifacts identical)")
+		scale        = flag.Int("scale", 50_000, "benchmark scale divisor for policy determinism")
+		bench        = flag.String("bench", "gzip,mcf", "comma-separated benchmarks for policy determinism (\"all\" = every benchmark)")
+		verb         = flag.Bool("v", false, "report every seed, not just failures")
 	)
 	flag.Parse()
 
@@ -197,6 +199,49 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("diffcheck: fault equivalence ok (artifacts byte-identical under injected faults)")
+	}
+
+	if *sweep {
+		so := check.SweepOptions{
+			RequireKinds: []faults.Kind{
+				faults.WorkerKill, faults.NetGet, faults.NetPut, faults.NetCorrupt,
+			},
+		}
+		if *sweepWorkers != "" {
+			max := 0
+			for _, s := range strings.Split(*sweepWorkers, ",") {
+				var w int
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &w); err != nil || w < 1 {
+					fmt.Fprintf(os.Stderr, "diffcheck: bad -sweep-workers entry %q\n", s)
+					os.Exit(2)
+				}
+				so.Workers = append(so.Workers, w)
+				if w > max {
+					max = w
+				}
+			}
+			// In-flight GET corruption needs a cross-worker checkpoint
+			// hit, which small worker counts rarely produce; the kind has
+			// a dedicated unit pin in internal/sweep, so only require it
+			// here when the matrix makes hits likely.
+			if max < 4 {
+				kinds := so.RequireKinds[:0]
+				for _, k := range so.RequireKinds {
+					if k != faults.NetCorrupt {
+						kinds = append(kinds, k)
+					}
+				}
+				so.RequireKinds = kinds
+			}
+		}
+		if *verb {
+			so.Progress = os.Stderr
+		}
+		if err := check.SweepEquivalence(so); err != nil {
+			fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("diffcheck: sweep equivalence ok (distributed sweep byte-identical to sequential run, exactly-once accounting)")
 	}
 }
 

@@ -15,6 +15,21 @@
 // over. -timeout bounds each measurement attempt and -retries bounds
 // how often a failed one is retried; a cell that exhausts the ladder
 // renders as an explicit FAILED marker instead of aborting the run.
+//
+// Distributed sweeps shard the (benchmark × policy) cell matrix across
+// machines:
+//
+//	repro -serve :8080 -out run/            # coordinator
+//	repro -worker http://host:8080          # one per core/machine
+//
+// The coordinator leases cells to workers (re-issuing leases whose
+// heartbeats stop), serves warm checkpoints to every worker over the
+// same HTTP surface, folds the workers' records into the canonical run
+// journal, and — once every cell is accounted for exactly once —
+// renders the same artifacts, byte-for-byte, as a sequential run.
+// Interrupting the coordinator journals the completed cells; rerunning
+// with the same -out leases out only the missing ones. -lease-ttl
+// tunes crash-detection latency.
 package main
 
 import (
@@ -23,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -30,10 +47,13 @@ import (
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/sweep"
 )
 
 type experiment struct {
@@ -56,6 +76,10 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-measurement-attempt deadline (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts for a failed measurement (0 = default 2, negative = none)")
 	faultSeed := flag.Uint64("faults", 0, "inject deterministic faults with this seed (0 = off; robustness testing)")
+	serveAddr := flag.String("serve", "", "run as sweep coordinator on this address (e.g. :8080); requires -out, renders artifacts once every cell completes")
+	workerURL := flag.String("worker", "", "run as sweep worker against this coordinator URL (e.g. http://host:8080); ignores experiment flags")
+	workerID := flag.String("worker-id", "", "worker name in claims and logs (default: worker-<pid>)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "coordinator lease TTL before a silent worker's cell is re-issued (default 30s)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /metrics.json and /transitions on this address during the sweep (e.g. 127.0.0.1:9090)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -91,6 +115,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *workerURL != "" && *serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "repro: -serve and -worker are mutually exclusive")
+		os.Exit(2)
+	}
+	if *workerURL != "" {
+		os.Exit(runSweepWorker(ctx, *workerURL, *workerID, *ckptDir, *timeout, *retries, *faultSeed, *metricsAddr, *quiet))
+	}
 
 	opts := experiments.Options{
 		Scale:       *scale,
@@ -130,6 +162,20 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "repro: serving metrics on http://%s/metrics\n", srv.Addr())
 	}
+	if *serveAddr != "" {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "repro: -serve requires -out (the merged run journal lives there)")
+			os.Exit(2)
+		}
+		if code := runSweepServe(ctx, *serveAddr, opts, *leaseTTL, *ckptDir, *noCkpt); code != 0 {
+			os.Exit(code)
+		}
+		// The merged journal now sits at opts.Journal; fall through to
+		// the normal render path, which replays it without executing
+		// anything — artifacts come out byte-identical to a sequential
+		// run by construction.
+	}
+
 	r := experiments.NewRunner(opts)
 	defer r.Close()
 
@@ -199,4 +245,139 @@ func main() {
 		r.Close()
 		os.Exit(3)
 	}
+}
+
+// runSweepWorker joins the sweep at the coordinator URL, claims and
+// executes cells until the coordinator reports the sweep done, and
+// exits. The coordinator owns the journal and the artifacts; a worker
+// only executes leased cells and ships their records back.
+func runSweepWorker(ctx context.Context, url, id, ckptDir string, timeout time.Duration,
+	retries int, faultSeed uint64, metricsAddr string, quiet bool) int {
+	if id == "" {
+		id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	wo := sweep.WorkerOptions{
+		Client:  sweep.NewClient(url, nil),
+		ID:      id,
+		Context: ctx,
+		CkptDir: ckptDir,
+		Timeout: timeout,
+		Retries: retries,
+	}
+	if !quiet {
+		wo.Progress = os.Stderr
+	}
+	if faultSeed != 0 {
+		inj := faults.New(faultSeed, faults.DefaultPlan())
+		wo.Faults = inj
+		wo.Client.Faults = inj
+	}
+	if metricsAddr != "" {
+		wo.Obs = obs.NewRegistry()
+		obs.PublishExpvar(wo.Obs)
+		srv, err := obs.Serve(metricsAddr, wo.Obs, obs.NewTransitionTrace(obs.DefaultTraceCap))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "repro: serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+	st, err := sweep.RunWorker(wo)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "repro: worker %s interrupted (%d cells executed); the coordinator will re-issue its lease\n",
+				id, st.Executions)
+			return 130
+		}
+		fmt.Fprintf(os.Stderr, "repro: worker %s: %v\n", id, err)
+		return 1
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "repro: worker %s done: %d claims, %d completions, %d executions\n",
+			id, st.Claims, st.Completions, st.Executions)
+	}
+	return 0
+}
+
+// runSweepServe runs the coordinator side of a distributed sweep: it
+// leases the cell matrix to HTTP workers, serves the shared checkpoint
+// tier, and folds the returned records into the canonical run journal
+// at opts.Journal. Returns 0 once every cell is accounted for, 130 on
+// interrupt (the partial journal is written so a rerun resumes), 1 on
+// error.
+func runSweepServe(ctx context.Context, addr string, opts experiments.Options,
+	ttl time.Duration, ckptDir string, noCkpt bool) int {
+	prior, err := experiments.ReadJournal(opts.Journal, opts.Scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		return 1
+	}
+	cfg := sweep.Config{Scale: opts.Scale, Benchmarks: opts.Benchmarks, LeaseTTL: ttl}
+	coord := sweep.NewCoordinator(cfg, prior, opts.Obs)
+
+	// The coordinator-side store backs the shared checkpoint tier; with
+	// -no-ckpt the endpoints answer 503 and workers run from scratch.
+	var store *ckpt.Store
+	if !noCkpt {
+		store, err = ckpt.New(ckpt.Options{Dir: ckptDir, Obs: opts.Obs})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			return 1
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: sweep.NewServer(coord, store, opts.Obs, opts.Trace).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	st := coord.Stats()
+	fmt.Fprintf(os.Stderr, "repro: sweep coordinator on http://%s — %d cells (%d already journaled); start workers with -worker http://%s\n",
+		ln.Addr(), st.Cells, st.Replayed, ln.Addr())
+
+	writeJournal := func() bool {
+		if err := coord.WriteJournal(opts.Journal); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			return false
+		}
+		return true
+	}
+	ticker := time.NewTicker(200 * time.Millisecond)
+	defer ticker.Stop()
+	lastDone := st.Done
+	for !coord.Done() {
+		select {
+		case <-ctx.Done():
+			st = coord.Stats()
+			writeJournal()
+			fmt.Fprintf(os.Stderr, "repro: interrupted with %d/%d cells complete; journaled — resume by rerunning with the same -out\n",
+				st.Done, st.Cells)
+			return 130
+		case <-ticker.C:
+		}
+		if st = coord.Stats(); opts.Progress != nil && st.Done != lastDone {
+			lastDone = st.Done
+			fmt.Fprintf(opts.Progress, "sweep: %d/%d cells complete (%d leased)\n", st.Done, st.Cells, st.Leased)
+		}
+	}
+	if !writeJournal() {
+		return 1
+	}
+	// Linger briefly before the deferred shutdown so a worker sleeping
+	// through the final completion wakes to a live /v1/claim and learns
+	// the sweep is done, rather than hitting connection-refused.
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+	}
+	if opts.Progress != nil {
+		st = coord.Stats()
+		fmt.Fprintf(opts.Progress, "sweep complete: %d cells (%d replayed, %d leases reissued); merged journal at %s\n",
+			st.Cells, st.Replayed, st.Reissues, opts.Journal)
+	}
+	return 0
 }

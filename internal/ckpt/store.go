@@ -71,6 +71,13 @@ type Options struct {
 	// Dir, when non-empty, persists every deposit to this directory and
 	// serves misses from it. Created if absent.
 	Dir string
+	// Remote, when non-nil, is a shared network checkpoint tier:
+	// consulted after the local tiers miss and mirrored on every
+	// deposit, so concurrent sweep workers reuse each other's warm
+	// checkpoints. Like the disk tier it is a pure cache — any remote
+	// failure or in-flight corruption degrades to the local tiers (and
+	// ultimately to scratch execution), never to a wrong restore.
+	Remote Remote
 	// Faults, when non-nil, injects deterministic disk-tier faults
 	// (see FaultInjector); used by the robustness harness.
 	Faults FaultInjector
@@ -80,11 +87,37 @@ type Options struct {
 	Obs *obs.Registry
 }
 
+// Remote is a second-chance checkpoint tier served over a network (see
+// internal/sweep for the HTTP implementation). Implementations must
+// verify integrity end-to-end: Get/Nearest return only snapshots whose
+// digest footer checked out and whose instruction count matches the
+// key, so the store can trust whatever arrives. A miss is (nil, nil) /
+// (nil, 0, nil); errors are transport- or integrity-level failures the
+// store degrades on.
+type Remote interface {
+	// Get fetches the snapshot for an exact key.
+	Get(k Key) (*vm.Snapshot, error)
+	// Nearest fetches the stored snapshot with the largest instruction
+	// count <= k.Instr in k's series, and that count.
+	Nearest(k Key) (*vm.Snapshot, uint64, error)
+	// Put uploads a snapshot under k. Uploads are idempotent: the
+	// encoding is deterministic, so concurrent workers racing the same
+	// key commit identical bytes.
+	Put(k Key, snap *vm.Snapshot) error
+}
+
 // maxWriteFails is how many consecutive disk-write failures the store
 // tolerates before degrading to its in-memory tier: after that, writes
 // stop (reads continue) so a dead disk costs one bounded burst of
 // errors rather than an error per deposit for the rest of the run.
 const maxWriteFails = 3
+
+// maxRemoteFails is the same ladder for the remote tier: after this
+// many consecutive failed remote operations (in either direction) the
+// store stops talking to it and runs on its local tiers alone, so a
+// dead or flaky coordinator costs a bounded burst of timeouts rather
+// than one per lookup for the rest of the sweep.
+const maxRemoteFails = 3
 
 // Stats counts store activity; cmd/ckptbench reports them in
 // BENCH_pr2.json.
@@ -101,10 +134,15 @@ type Stats struct {
 	DiskErrors    uint64 // corrupt/unreadable files degraded to misses
 	WriteFails    uint64 // failed disk writes (subset of DiskErrors)
 	Discards      uint64 // entries explicitly discarded by callers
+	RemoteHits    uint64 // lookups served by the remote tier
+	RemoteMisses  uint64 // remote consultations that found nothing
+	RemotePuts    uint64 // deposits mirrored to the remote tier
+	RemoteErrors  uint64 // failed/corrupt remote transfers, degraded locally
 	Entries       int    // current in-memory entries
 	DiskEntries   int    // current on-disk entries
 	Bytes         int64  // current in-memory estimated bytes
 	DiskDegraded  bool   // disk writes disabled after maxWriteFails
+	RemoteOff     bool   // remote tier disabled after maxRemoteFails
 }
 
 type entry struct {
@@ -134,8 +172,12 @@ type Store struct {
 	// maxWriteFails the disk tier degrades to read-only.
 	writeFails int
 	diskOff    bool
-	stats      Stats
-	ob         storeObs
+	// remoteFails counts consecutive remote-tier failures; at
+	// maxRemoteFails the remote tier is dropped entirely.
+	remoteFails int
+	remoteOff   bool
+	stats       Stats
+	ob          storeObs
 }
 
 // storeObs mirrors the Stats counters into a metrics registry. All
@@ -153,6 +195,10 @@ type storeObs struct {
 	diskErrors         *obs.Counter
 	writeFails         *obs.Counter
 	discards           *obs.Counter
+	remoteHits         *obs.Counter
+	remoteMisses       *obs.Counter
+	remotePuts         *obs.Counter
+	remoteErrors       *obs.Counter
 	loadSecs, writeSec *obs.Histogram
 }
 
@@ -170,6 +216,10 @@ func newStoreObs(reg *obs.Registry) storeObs {
 		diskErrors:    reg.Counter("ckpt_store_disk_errors_total"),
 		writeFails:    reg.Counter("ckpt_store_write_fails_total"),
 		discards:      reg.Counter("ckpt_store_discards_total"),
+		remoteHits:    reg.Counter("ckpt_store_remote_hits_total"),
+		remoteMisses:  reg.Counter("ckpt_store_remote_misses_total"),
+		remotePuts:    reg.Counter("ckpt_store_remote_puts_total"),
+		remoteErrors:  reg.Counter("ckpt_store_remote_errors_total"),
 		loadSecs:      reg.Histogram("ckpt_disk_load_seconds", obs.TimeBuckets),
 		writeSec:      reg.Histogram("ckpt_disk_write_seconds", obs.TimeBuckets),
 	}
@@ -222,6 +272,12 @@ func parseFilename(name string) (Key, bool) {
 	if !ok {
 		return Key{}, false
 	}
+	return ParseKey(base)
+}
+
+// ParseKey inverts Key.String(); the sweep service's HTTP tier uses it
+// to address checkpoints by content key in URLs.
+func ParseKey(base string) (Key, bool) {
 	parts := strings.Split(base, "-")
 	if len(parts) < 4 {
 		return Key{}, false
@@ -280,25 +336,26 @@ func (s *Store) lookupLocked(k Key) *vm.Snapshot {
 	return snap
 }
 
-// loadAnyLocked serves k from memory or disk. A disk-tier failure
-// degrades to a miss — the index entry is dropped (and the file removed
-// when the bytes themselves are corrupt) so later lookups don't retry —
-// but the typed error is also returned so Load callers can see what
+// loadAnyLocked serves k from memory, disk, or the remote tier (in
+// that order). A disk-tier failure degrades to the next tier — the
+// index entry is dropped (and the file removed when the bytes
+// themselves are corrupt) so later lookups don't retry — but the typed
+// error is also returned on a full miss so Load callers can see what
 // happened instead of a silent miss.
 func (s *Store) loadAnyLocked(k Key) (*vm.Snapshot, error) {
 	if el, ok := s.mem[k]; ok {
 		s.lru.MoveToFront(el)
 		return el.Value.(*entry).snap, nil
 	}
-	if !s.disk[k] {
-		return nil, nil
-	}
-	loadStart := time.Now()
-	snap, err := s.loadLocked(k)
-	if err == nil {
-		s.ob.loadSecs.Observe(time.Since(loadStart).Seconds())
-	}
-	if err != nil {
+	var diskErr error
+	if s.disk[k] {
+		loadStart := time.Now()
+		snap, err := s.loadLocked(k)
+		if err == nil {
+			s.ob.loadSecs.Observe(time.Since(loadStart).Seconds())
+			s.insertLocked(k, snap)
+			return snap, nil
+		}
 		s.stats.DiskErrors++
 		s.ob.diskErrors.Inc()
 		delete(s.disk, k)
@@ -308,10 +365,57 @@ func (s *Store) loadAnyLocked(k Key) (*vm.Snapshot, error) {
 			// cannot resurrect the entry.
 			os.Remove(s.path(k))
 		}
-		return nil, err
+		diskErr = err
 	}
-	s.insertLocked(k, snap)
-	return snap, nil
+	// Local tiers missed (or the disk copy was bad): second chance from
+	// the remote tier, whose transfers are digest-verified end-to-end.
+	if snap := s.remoteGetLocked(k); snap != nil {
+		s.insertLocked(k, snap)
+		return snap, nil
+	}
+	return nil, diskErr
+}
+
+// remoteGetLocked fetches k from the remote tier, nil on miss, error,
+// or no/degraded remote. Integrity is belt-and-braces: the Remote
+// contract already requires digest-checked transfers, but the store
+// still refuses a snapshot whose instruction count contradicts the key.
+func (s *Store) remoteGetLocked(k Key) *vm.Snapshot {
+	if s.opts.Remote == nil || s.remoteOff {
+		return nil
+	}
+	snap, err := s.opts.Remote.Get(k)
+	if err == nil && snap != nil && snap.Instructions() != k.Instr {
+		err = fmt.Errorf("%w: remote %s holds instr %d", ErrCorrupt, k, snap.Instructions())
+	}
+	if err != nil {
+		s.remoteFailLocked()
+		return nil
+	}
+	if snap == nil {
+		s.stats.RemoteMisses++
+		s.ob.remoteMisses.Inc()
+		s.remoteFails = 0
+		return nil
+	}
+	s.stats.RemoteHits++
+	s.ob.remoteHits.Inc()
+	s.remoteFails = 0
+	return snap
+}
+
+// remoteFailLocked records one failed remote operation and trips the
+// degradation ladder after maxRemoteFails consecutive failures: the
+// remote tier is a cache of a cache, so the only correct response to a
+// sick one is to stop asking.
+func (s *Store) remoteFailLocked() {
+	s.stats.RemoteErrors++
+	s.ob.remoteErrors.Inc()
+	s.remoteFails++
+	if s.remoteFails >= maxRemoteFails {
+		s.remoteOff = true
+		s.stats.RemoteOff = true
+	}
 }
 
 // loadLocked reads and decodes k's disk file, classifying any failure
@@ -405,6 +509,14 @@ func (s *Store) Nearest(k Key) (*vm.Snapshot, uint64, bool) {
 			}
 		}
 		if !found {
+			// Nothing local: ask the remote tier, which runs the same
+			// nearest-<= search over the whole fleet's deposits. Any
+			// stored checkpoint <= the target restores to the same
+			// trajectory, so preferring a (possibly nearer) local entry
+			// first costs at most some re-execution, never bits.
+			if snap, instr, ok := s.remoteNearestLocked(k); ok {
+				return snap, instr, true
+			}
 			s.stats.NearestMisses++
 			s.ob.nearestMisses.Inc()
 			return nil, 0, false
@@ -419,6 +531,41 @@ func (s *Store) Nearest(k Key) (*vm.Snapshot, uint64, bool) {
 		// The best candidate was a corrupt disk entry (now dropped);
 		// try the next-lower one.
 	}
+}
+
+// remoteNearestLocked asks the remote tier for the nearest-<= snapshot
+// in k's series and caches a hit in the in-memory tier under its true
+// instruction count.
+func (s *Store) remoteNearestLocked(k Key) (*vm.Snapshot, uint64, bool) {
+	if s.opts.Remote == nil || s.remoteOff {
+		return nil, 0, false
+	}
+	snap, instr, err := s.opts.Remote.Nearest(k)
+	if err == nil && snap != nil && (instr > k.Instr || snap.Instructions() != instr) {
+		err = fmt.Errorf("%w: remote nearest for %s returned instr %d (snapshot %d)",
+			ErrCorrupt, k, instr, snap.Instructions())
+	}
+	if err != nil {
+		s.remoteFailLocked()
+		return nil, 0, false
+	}
+	if snap == nil {
+		s.stats.RemoteMisses++
+		s.ob.remoteMisses.Inc()
+		s.remoteFails = 0
+		return nil, 0, false
+	}
+	s.stats.RemoteHits++
+	s.ob.remoteHits.Inc()
+	s.stats.NearestHits++
+	s.ob.nearestHits.Inc()
+	s.remoteFails = 0
+	bk := k
+	bk.Instr = instr
+	if _, ok := s.mem[bk]; !ok {
+		s.insertLocked(bk, snap)
+	}
+	return snap, instr, true
 }
 
 // Put deposits a snapshot under k. Deposits of an existing key are
@@ -458,6 +605,18 @@ func (s *Store) Put(k Key, snap *vm.Snapshot) {
 			s.ob.diskWrites.Inc()
 			s.ob.writeSec.Observe(time.Since(writeStart).Seconds())
 			s.disk[k] = true
+		}
+	}
+	if s.opts.Remote != nil && !s.remoteOff {
+		// Mirror the deposit so the rest of the fleet warm-starts from
+		// it. Failures only cost sharing: the local tiers already hold
+		// the snapshot.
+		if err := s.opts.Remote.Put(k, snap); err != nil {
+			s.remoteFailLocked()
+		} else {
+			s.stats.RemotePuts++
+			s.ob.remotePuts.Inc()
+			s.remoteFails = 0
 		}
 	}
 }
@@ -582,8 +741,15 @@ func (st Stats) String() string {
 	s := fmt.Sprintf("hits=%d misses=%d nearest=%d puts=%d dup=%d evict=%d mem=%d/%dB disk=%d (loads=%d writes=%d errors=%d)",
 		st.Hits, st.Misses, st.NearestHits, st.Puts, st.DupPuts, st.Evictions,
 		st.Entries, st.Bytes, st.DiskEntries, st.DiskLoads, st.DiskWrites, st.DiskErrors)
+	if st.RemoteHits+st.RemoteMisses+st.RemotePuts+st.RemoteErrors > 0 {
+		s += fmt.Sprintf(" remote(hits=%d misses=%d puts=%d errors=%d)",
+			st.RemoteHits, st.RemoteMisses, st.RemotePuts, st.RemoteErrors)
+	}
 	if st.DiskDegraded {
 		s += " DISK-DEGRADED"
+	}
+	if st.RemoteOff {
+		s += " REMOTE-OFF"
 	}
 	return s
 }

@@ -24,13 +24,18 @@ import (
 // sampling.Result / simpoint.Analysis values whose fields round-trip
 // exactly through encoding/json (Go marshals float64 with the shortest
 // representation that parses back to the same bit pattern), so a
-// replayed result is the result.
+// replayed result is the result. The same property makes records safe
+// to ship between processes: the distributed sweep service
+// (internal/sweep) moves exactly these records over HTTP and merges
+// per-worker streams back into one canonical journal.
 
-const journalVersion = 1
+// JournalVersion gates the journal format; a bump invalidates (and
+// rotates aside) every older file.
+const JournalVersion = 1
 
-// journalRecord is one line of the journal. Kind selects which of the
+// JournalRecord is one line of the journal. Kind selects which of the
 // remaining fields are meaningful.
-type journalRecord struct {
+type JournalRecord struct {
 	Kind string `json:"kind"` // "header" | "result" | "analysis" | "metrics"
 
 	// Header fields: everything that must match for old records to be
@@ -51,6 +56,15 @@ type journalRecord struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// JournalSink receives journal records as the runner produces them, in
+// append order (a SimPoint analysis always precedes its results). The
+// sweep worker plugs in a sink that forwards records to the
+// coordinator; Append errors cost durability for that record only,
+// never results. Implementations must be safe for concurrent use.
+type JournalSink interface {
+	Append(rec JournalRecord) error
+}
+
 // journal appends records to the run journal. Safe for concurrent use;
 // each record is written with a single Write so concurrent appends
 // never interleave and a crash tears at most the final line.
@@ -60,13 +74,27 @@ type journal struct {
 	closed bool
 }
 
+// rotateName picks the backup name a superseded journal is renamed to:
+// path+".stale" when free, else the first free path+".stale.N". Earlier
+// rotations are never overwritten — a sweep that flip-flops between
+// scales keeps one numbered backup per flip for forensics.
+func rotateName(path string) string {
+	name := path + ".stale"
+	for n := 1; ; n++ {
+		if _, err := os.Lstat(name); os.IsNotExist(err) {
+			return name
+		}
+		name = fmt.Sprintf("%s.stale.%d", path, n)
+	}
+}
+
 // openJournal opens (or creates) the journal at path, replays its valid
 // prefix, and returns the journal positioned for appends plus the
 // replayed records. A header mismatch (different scale or format
-// version) rotates the old file to path+".stale" and starts fresh; a
-// torn or corrupt tail is truncated away. Only unrecoverable I/O errors
-// are returned — callers degrade to journal-less operation.
-func openJournal(path string, scale int) (*journal, []journalRecord, error) {
+// version) rotates the old file to a numbered .stale backup and starts
+// fresh; a torn or corrupt tail is truncated away. Only unrecoverable
+// I/O errors are returned — callers degrade to journal-less operation.
+func openJournal(path string, scale int) (*journal, []JournalRecord, error) {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, nil, err
@@ -79,7 +107,7 @@ func openJournal(path string, scale int) (*journal, []journalRecord, error) {
 	if records == nil && goodBytes < 0 {
 		// Valid file for a different run: keep it for forensics, start
 		// a fresh journal.
-		os.Rename(path, path+".stale")
+		os.Rename(path, rotateName(path))
 		goodBytes = 0
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
@@ -98,7 +126,7 @@ func openJournal(path string, scale int) (*journal, []journalRecord, error) {
 	}
 	j := &journal{f: f}
 	if goodBytes == 0 {
-		if err := j.append(journalRecord{Kind: "header", Version: journalVersion, Scale: scale}); err != nil {
+		if err := j.append(JournalRecord{Kind: "header", Version: JournalVersion, Scale: scale}); err != nil {
 			f.Close()
 			return nil, nil, err
 		}
@@ -110,7 +138,7 @@ func openJournal(path string, scale int) (*journal, []journalRecord, error) {
 // measurement records and the byte offset of the end of the last good
 // line. A missing file is (nil, 0, nil). A file whose header names a
 // different run returns goodBytes = -1 as the rotate signal.
-func replayJournal(path string, scale int) ([]journalRecord, int64, error) {
+func replayJournal(path string, scale int) ([]JournalRecord, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -120,7 +148,7 @@ func replayJournal(path string, scale int) ([]journalRecord, int64, error) {
 	}
 	defer f.Close()
 	var (
-		records   []journalRecord
+		records   []JournalRecord
 		goodBytes int64
 		sawHeader bool
 	)
@@ -128,12 +156,12 @@ func replayJournal(path string, scale int) ([]journalRecord, int64, error) {
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // traces make long lines
 	for sc.Scan() {
 		line := sc.Bytes()
-		var rec journalRecord
+		var rec JournalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
 			break // torn or corrupt tail: everything after is discarded
 		}
 		if !sawHeader {
-			if rec.Kind != "header" || rec.Version != journalVersion || rec.Scale != scale {
+			if rec.Kind != "header" || rec.Version != JournalVersion || rec.Scale != scale {
 				return nil, -1, nil
 			}
 			sawHeader = true
@@ -149,10 +177,73 @@ func replayJournal(path string, scale int) ([]journalRecord, int64, error) {
 	return records, goodBytes, nil
 }
 
+// ReadJournal replays the valid prefix of the journal at path for a run
+// at the given scale, without opening it for appends. A missing file or
+// one written by a different run (scale or format mismatch) returns no
+// records. The sweep coordinator uses this to pre-complete cells whose
+// results survived an earlier, interrupted sweep.
+func ReadJournal(path string, scale int) ([]JournalRecord, error) {
+	records, goodBytes, err := replayJournal(path, scale)
+	if err != nil {
+		return nil, err
+	}
+	if goodBytes < 0 {
+		return nil, nil
+	}
+	return records, nil
+}
+
+// WriteJournalFile atomically writes a complete journal (header plus
+// the given records, in order) to path: temp file, fsync, rename, so a
+// crash never leaves a half-merged journal under a live name. The sweep
+// coordinator's journal-merge step uses this to fold per-worker record
+// streams into the canonical run journal.
+func WriteJournalFile(path string, scale int, records []JournalRecord) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".journal-*")
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	enc := json.NewEncoder(w) // Encode appends exactly one '\n' per record
+	if err := enc.Encode(JournalRecord{Kind: "header", Version: JournalVersion, Scale: scale}); err != nil {
+		return fail(err)
+	}
+	for _, rec := range records {
+		if err := enc.Encode(rec); err != nil {
+			return fail(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
 // append writes one record as a single line. Errors are returned but
 // the journal stays usable; a failed append costs durability for that
 // record only (the measurement is still in memory).
-func (j *journal) append(rec journalRecord) error {
+func (j *journal) append(rec JournalRecord) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return err

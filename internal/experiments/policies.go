@@ -26,6 +26,31 @@ func BaselinePolicies(scale int) []sampling.Policy {
 	}
 }
 
+// ArtifactPolicies returns the policy matrix behind the canonical
+// artifact bundle (RenderArtifacts: Table 2 + Figure 8). The
+// distributed sweep shards exactly this matrix: Table 2's SimPoint
+// analyses and full-timing baselines come from the same cells.
+func ArtifactPolicies(scale int) []sampling.Policy {
+	return fig89Policies(scale)
+}
+
+// PolicyKeyOf exposes the runner's execution-key mapping: the identity
+// a measurement is memoised, journaled, and (in the distributed sweep)
+// leased under. Both SimPoint accounting variants map to "SimPoint*",
+// one pipeline execution.
+func PolicyKeyOf(p sampling.Policy) string { return policyKey(p) }
+
+// KeyRecordNames returns the result-record policy names one execution
+// key's measurement journals, plus whether a SimPoint analysis record
+// accompanies them. The sweep coordinator uses this to decide when a
+// cell's record set is complete.
+func KeyRecordNames(key string) (results []string, analysis bool) {
+	if key == "SimPoint*" {
+		return []string{"SimPoint", "SimPoint+prof"}, true
+	}
+	return []string{key}, false
+}
+
 // Fig67Policies returns the Dynamic Sampling configurations of
 // Figures 6 and 7: CPU-300 and I/O-100 with interval lengths 1M/10M/100M
 // and max_func 10/∞.

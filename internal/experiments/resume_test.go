@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -162,4 +163,54 @@ func TestJournalScaleMismatchRotates(t *testing.T) {
 	if _, err := os.Stat(journal + ".stale"); err != nil {
 		t.Fatalf("old journal was not rotated aside: %v", err)
 	}
+}
+
+// TestJournalDoubleRotationKeepsBackups is the regression pin for the
+// rotation scheme: every scale flip must rotate the superseded journal
+// to a *fresh* numbered backup — the second rotation used to overwrite
+// the first ".stale" silently, destroying the original run's records.
+func TestJournalDoubleRotationKeepsBackups(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+
+	// Three runs at three scales, each journaling one synthetic record
+	// tagged with its scale so backups are tellable apart.
+	writeRun := func(scale int) {
+		j, _, err := openJournal(path, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := JournalRecord{Kind: "analysis", Bench: fmt.Sprintf("run-%d", scale)}
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeRun(1000) // original journal
+	writeRun(2000) // rotates the original to .stale
+	writeRun(3000) // must rotate to .stale.1, NOT overwrite .stale
+
+	// Each backup still holds its own run, and the live journal is the
+	// newest one.
+	assertRun := func(file string, scale int) {
+		t.Helper()
+		records, err := ReadJournal(file, scale)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		want := fmt.Sprintf("run-%d", scale)
+		if len(records) != 1 || records[0].Bench != want {
+			t.Fatalf("%s does not hold the %s journal: %+v", file, want, records)
+		}
+	}
+	assertRun(path+".stale", 1000)
+	assertRun(path+".stale.1", 2000)
+	assertRun(path, 3000)
+
+	// A further flip keeps climbing the numbering.
+	writeRun(4000)
+	assertRun(path+".stale.2", 3000)
+	assertRun(path, 4000)
 }

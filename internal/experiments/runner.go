@@ -85,6 +85,11 @@ type Options struct {
 	// interrupted RunAll resumes from completed cells. An unusable
 	// journal path degrades to journal-less operation.
 	Journal string
+	// Sink, when non-nil, additionally receives every journal record as
+	// it is produced (independently of Journal — both may be set). The
+	// sweep worker uses a sink to stream records to its coordinator; a
+	// failed Append costs durability for that record only.
+	Sink JournalSink
 
 	// Obs mirrors the sweep into a metrics registry: cell lifecycle
 	// counters here, plus everything the sessions, policies, cost meters
@@ -253,15 +258,35 @@ func faultInjector(in *faults.Injector) ckpt.FaultInjector {
 // replay ignores the record (only "result"/"analysis" are consumed),
 // so resumability is unaffected.
 func (r *Runner) Close() error {
-	if r.jr == nil {
+	if r.jr == nil && r.opts.Sink == nil {
 		return nil
 	}
 	if r.opts.Obs != nil {
-		if err := r.jr.append(journalRecord{Kind: "metrics", Metrics: r.opts.Obs.Snapshot()}); err == nil {
+		r.appendRecord(JournalRecord{Kind: "metrics", Metrics: r.opts.Obs.Snapshot()})
+	}
+	if r.jr == nil {
+		return nil
+	}
+	return r.jr.close()
+}
+
+// appendRecord fans one journal record out to every configured
+// destination: the crash-safe file journal and/or the external sink. A
+// failed append costs durability for that record at that destination
+// only — the measurement is still in memory.
+func (r *Runner) appendRecord(rec JournalRecord) {
+	if r.jr != nil {
+		if err := r.jr.append(rec); err == nil {
 			r.ob.appends.Inc()
 		}
 	}
-	return r.jr.close()
+	if r.opts.Sink != nil {
+		if err := r.opts.Sink.Append(rec); err == nil {
+			r.ob.appends.Inc()
+		} else {
+			r.progress("journal sink append failed: %v", err)
+		}
+	}
 }
 
 // Executions returns how many measurements were actually executed (as
@@ -322,13 +347,8 @@ func (r *Runner) store(bench string, res sampling.Result) {
 		r.results[bench] = make(map[string]sampling.Result)
 	}
 	r.results[bench][res.Policy] = res
-	jr := r.jr
 	r.mu.Unlock()
-	if jr != nil {
-		if err := jr.append(journalRecord{Kind: "result", Bench: bench, Policy: res.Policy, Result: &res}); err == nil {
-			r.ob.appends.Inc()
-		}
-	}
+	r.appendRecord(JournalRecord{Kind: "result", Bench: bench, Policy: res.Policy, Result: &res})
 }
 
 // lookup returns a memoised result.
@@ -594,13 +614,8 @@ func (r *Runner) runSimPoint(ctx context.Context, spec workload.Spec, p simpoint
 	// analysis without results just re-executes the pipeline.
 	r.mu.Lock()
 	r.analyses[spec.Name] = an
-	jr := r.jr
 	r.mu.Unlock()
-	if jr != nil {
-		if err := jr.append(journalRecord{Kind: "analysis", Bench: spec.Name, Analysis: &an}); err == nil {
-			r.ob.appends.Inc()
-		}
-	}
+	r.appendRecord(JournalRecord{Kind: "analysis", Bench: spec.Name, Analysis: &an})
 
 	// Measurement pass (shared by both accounting variants).
 	noProf := p

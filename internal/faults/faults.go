@@ -51,6 +51,19 @@ const (
 	RunHang Kind = "run-hang"
 	// RunError fails a measurement attempt with a transient error.
 	RunError Kind = "run-error"
+	// NetGet fails a remote checkpoint-tier GET outright (connection
+	// refused, 5xx, timeout — the shape doesn't matter, only that the
+	// bytes never arrive).
+	NetGet Kind = "net-get"
+	// NetPut fails a remote checkpoint-tier PUT outright.
+	NetPut Kind = "net-put"
+	// NetCorrupt flips or truncates bytes of a remote checkpoint GET in
+	// flight, so the snapshot digest footer must catch it client-side.
+	NetCorrupt Kind = "net-corrupt"
+	// WorkerKill kills a sweep worker mid-lease: the worker vanishes
+	// without completing (or even heartbeating), modelling SIGKILL, and
+	// the coordinator must re-issue the lease after expiry.
+	WorkerKill Kind = "worker-kill"
 )
 
 // ErrInjected marks every error produced by an Injector, so callers can
@@ -76,6 +89,20 @@ type Plan struct {
 	// RunFaultAttempts is how many leading attempts of a cell may fault;
 	// attempts >= RunFaultAttempts never fault, so a bounded retry heals.
 	RunFaultAttempts int
+
+	// NetGet/NetPut/NetCorrupt are per-operation probabilities for the
+	// remote checkpoint tier. All three are healable by construction:
+	// the remote tier is a cache of a cache, so a failed or corrupt
+	// transfer degrades to the local tier or to scratch execution.
+	NetGet     float64
+	NetPut     float64
+	NetCorrupt float64
+	// WorkerKill is the probability that a sweep worker is killed while
+	// holding a lease on a given cell delivery. KillAttempts bounds how
+	// many leading deliveries of one cell may be killed, so a bounded
+	// number of lease re-issues always completes the cell.
+	WorkerKill   float64
+	KillAttempts int
 }
 
 // DefaultPlan is the schedule the fault-equivalence matrix runs: high
@@ -272,6 +299,59 @@ func (in *Injector) RunFault(bench, policy string, attempt int) Kind {
 	kind := [...]Kind{RunPanic, RunHang, RunError}[(h>>7)%3]
 	in.note(kind)
 	return kind
+}
+
+// NetFault implements the remote checkpoint tier's network-fault hook:
+// op is "get" or "put". A non-nil return is the injected failure.
+func (in *Injector) NetFault(op, name string) error {
+	var kind Kind
+	var rate float64
+	switch op {
+	case "get":
+		kind, rate = NetGet, in.plan.NetGet
+	case "put":
+		kind, rate = NetPut, in.plan.NetPut
+	default:
+		return nil
+	}
+	if _, hit := in.roll(kind, name, rate); hit {
+		return fmt.Errorf("%w: net %s %s", ErrInjected, op, name)
+	}
+	return nil
+}
+
+// NetCorruptReader wraps a remote checkpoint GET body. When the verdict
+// fires it flips or truncates bytes at a deterministic offset inside the
+// digest-protected prefix, exactly like CorruptReader but drawn from the
+// NetCorrupt budget — in-flight damage, not at-rest damage.
+func (in *Injector) NetCorruptReader(name string, r io.Reader) io.Reader {
+	h, hit := in.roll(NetCorrupt, name, in.plan.NetCorrupt)
+	if !hit {
+		return r
+	}
+	offset := int64(16 + h%2032) // within [16, 2048)
+	if h&(1<<60) != 0 {
+		return &truncatingReader{r: r, remain: offset}
+	}
+	return &flippingReader{r: r, offset: offset}
+}
+
+// KillWorker reports whether the worker holding cell on its delivery'th
+// lease issue (0-based) should be killed mid-lease. Deliveries at or
+// beyond the plan's KillAttempts are never killed, so lease re-issue
+// always completes the cell. The verdict is keyed by cell, not worker:
+// whichever worker claims the doomed delivery dies, keeping the
+// schedule independent of claim interleaving.
+func (in *Injector) KillWorker(cell string, delivery int) bool {
+	if delivery < 0 || delivery >= in.plan.KillAttempts {
+		return false
+	}
+	h := in.hash(WorkerKill, cell, uint64(delivery))
+	if frac(h) >= in.plan.WorkerKill {
+		return false
+	}
+	in.note(WorkerKill)
+	return true
 }
 
 // flippingReader XORs one byte at a fixed stream offset.

@@ -1,0 +1,217 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/vm"
+)
+
+// Client is the worker side of the wire protocol. It also implements
+// ckpt.Remote, so a worker's checkpoint store plugs the coordinator in
+// as its network tier directly.
+//
+// Integrity on the download path is client-enforced: every fetched
+// snapshot is decoded through vm.ReadSnapshot (digest footer) and its
+// instruction count checked against the requested key, so corruption
+// in flight — injected or real — surfaces as an error the store
+// degrades on, never as a restored wrong state.
+type Client struct {
+	base string
+	hc   *http.Client
+	// Faults, when non-nil, injects deterministic network faults into
+	// the checkpoint tier (NetGet/NetPut outage, NetCorrupt in-flight
+	// damage). Used by the robustness harness.
+	Faults *faults.Injector
+}
+
+// NewClient creates a client for a coordinator at base (e.g.
+// "http://127.0.0.1:8700"). hc may be nil for http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// postJSON posts a JSON body and decodes a JSON response into out (when
+// non-nil), mapping protocol statuses back to the coordinator's typed
+// errors.
+func (cl *Client) postJSON(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := cl.hc.Post(cl.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("sweep: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	case http.StatusConflict:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("%w (%s)", ErrStaleLease, strings.TrimSpace(string(msg)))
+	case http.StatusUnprocessableEntity:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("%w (%s)", ErrIncompleteCell, strings.TrimSpace(string(msg)))
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("sweep: %s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+}
+
+// FetchConfig retrieves the sweep configuration workers must adopt.
+func (cl *Client) FetchConfig() (Config, error) {
+	resp, err := cl.hc.Get(cl.base + "/v1/config")
+	if err != nil {
+		return Config{}, fmt.Errorf("sweep: config: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Config{}, fmt.Errorf("sweep: config: status %d", resp.StatusCode)
+	}
+	var cfg Config
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("sweep: config: %w", err)
+	}
+	return cfg, nil
+}
+
+// Claim asks for a lease. done=true means the sweep is finished; a
+// (nil, false) return means every remaining cell is leased elsewhere —
+// poll again.
+func (cl *Client) Claim(worker string) (*Lease, bool, error) {
+	var resp claimResponse
+	if err := cl.postJSON("/v1/claim", claimRequest{Worker: worker}, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.Lease, resp.Done, nil
+}
+
+// Heartbeat extends a lease.
+func (cl *Client) Heartbeat(id uint64) error {
+	return cl.postJSON("/v1/heartbeat", leaseRequest{Lease: id}, nil)
+}
+
+// Append ships journal records under a live lease.
+func (cl *Client) Append(id uint64, recs []experiments.JournalRecord) error {
+	return cl.postJSON("/v1/append", leaseRequest{Lease: id, Records: recs}, nil)
+}
+
+// Complete marks a lease's cell done.
+func (cl *Client) Complete(id uint64, recs []experiments.JournalRecord) error {
+	return cl.postJSON("/v1/complete", leaseRequest{Lease: id, Records: recs}, nil)
+}
+
+func (cl *Client) ckptURL(k ckpt.Key) string {
+	return cl.base + "/v1/ckpt/" + k.String()
+}
+
+// fetchSnapshot GETs and digest-verifies one snapshot URL; (nil, nil)
+// on 404.
+func (cl *Client) fetchSnapshot(url, faultName string) (*vm.Snapshot, uint64, error) {
+	resp, err := cl.hc.Get(url)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sweep: ckpt get: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, 0, nil
+	default:
+		return nil, 0, fmt.Errorf("sweep: ckpt get: status %d", resp.StatusCode)
+	}
+	var instr uint64
+	if h := resp.Header.Get("X-Ckpt-Instr"); h != "" {
+		if instr, err = strconv.ParseUint(h, 10, 64); err != nil {
+			return nil, 0, fmt.Errorf("sweep: ckpt get: bad X-Ckpt-Instr %q", h)
+		}
+	}
+	var body io.Reader = resp.Body
+	if cl.Faults != nil {
+		body = cl.Faults.NetCorruptReader(faultName, body)
+	}
+	snap, err := vm.ReadSnapshot(body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sweep: ckpt get: %w", err)
+	}
+	return snap, instr, nil
+}
+
+// Get implements ckpt.Remote.
+func (cl *Client) Get(k ckpt.Key) (*vm.Snapshot, error) {
+	if cl.Faults != nil {
+		if err := cl.Faults.NetFault("get", k.String()); err != nil {
+			return nil, err
+		}
+	}
+	snap, _, err := cl.fetchSnapshot(cl.ckptURL(k), k.String())
+	if err != nil || snap == nil {
+		return nil, err
+	}
+	if snap.Instructions() != k.Instr {
+		return nil, fmt.Errorf("sweep: ckpt get: %s served instr %d", k, snap.Instructions())
+	}
+	return snap, nil
+}
+
+// Nearest implements ckpt.Remote.
+func (cl *Client) Nearest(k ckpt.Key) (*vm.Snapshot, uint64, error) {
+	if cl.Faults != nil {
+		if err := cl.Faults.NetFault("get", k.String()+"/nearest"); err != nil {
+			return nil, 0, err
+		}
+	}
+	snap, instr, err := cl.fetchSnapshot(cl.ckptURL(k)+"/nearest", k.String()+"/nearest")
+	if err != nil || snap == nil {
+		return nil, 0, err
+	}
+	if snap.Instructions() != instr || instr > k.Instr {
+		return nil, 0, fmt.Errorf("sweep: ckpt nearest: %s served instr %d (header %d)",
+			k, snap.Instructions(), instr)
+	}
+	return snap, instr, nil
+}
+
+// Put implements ckpt.Remote.
+func (cl *Client) Put(k ckpt.Key, snap *vm.Snapshot) error {
+	if cl.Faults != nil {
+		if err := cl.Faults.NetFault("put", k.String()); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, cl.ckptURL(k), &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("sweep: ckpt put: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("sweep: ckpt put: status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}

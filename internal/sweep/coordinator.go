@@ -1,0 +1,353 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// ErrStaleLease rejects a message carrying a lease that is unknown,
+// expired, or superseded by a re-issue. The worker behind it is
+// presumed dead; whatever it was doing, the cell's current (or next)
+// leaseholder is the one whose completion counts.
+var ErrStaleLease = errors.New("sweep: stale or expired lease")
+
+// ErrIncompleteCell rejects a completion whose cell is missing journal
+// records: a cell is complete only when every record its execution key
+// produces (results, plus the SimPoint analysis where applicable) has
+// been accepted. This is the exactly-once accounting backstop — a
+// worker cannot mark work done that it never shipped.
+var ErrIncompleteCell = errors.New("sweep: cell record set incomplete")
+
+// recordKey identifies one journal record for deduplication: executions
+// are deterministic, so two records with equal keys hold equal values
+// and either may be kept.
+type recordKey struct {
+	kind   string // "result" | "analysis"
+	bench  string
+	policy string // empty for analysis records
+}
+
+// cellState tracks one cell through pending → leased → done. A lease
+// that expires returns the cell to pending (keeping any records already
+// appended — they were produced by completed measurements and are
+// deterministic, so they remain valid).
+type cellState struct {
+	cell       Cell
+	done       bool
+	leaseID    uint64 // 0 = not currently leased
+	expiry     time.Time
+	deliveries int // times leased so far
+}
+
+// Coordinator is the sweep's single point of truth: the lease state
+// machine plus the accepted-record set. It is transport-agnostic and
+// clock-explicit — every mutating method takes the current time — so
+// the state machine is exhaustively table-testable without HTTP or
+// sleeps. Server (http.go) is the wire adapter over it.
+type Coordinator struct {
+	mu      sync.Mutex
+	cfg     Config
+	cells   []Cell
+	states  map[Cell]*cellState
+	leases  map[uint64]*cellState // live leases by ID
+	nextID  uint64
+	records map[recordKey]experiments.JournalRecord
+	stats   CoordStats
+	ob      coordObs
+}
+
+// CoordStats counts coordinator activity; the equivalence harness
+// asserts exactly-once accounting and kill non-vacuity from it.
+type CoordStats struct {
+	Cells       int    // total cells in the matrix
+	Done        int    // cells completed (replayed or live)
+	Leased      int    // cells currently leased
+	Replayed    int    // cells pre-completed from a prior journal
+	Claims      uint64 // leases issued
+	Reissues    uint64 // leases expired and returned to pending
+	Completions uint64 // successful Complete calls (one per cell, ever)
+	StaleDrops  uint64 // heartbeat/append/complete rejections for stale leases
+	Records     uint64 // journal records accepted
+	DupRecords  uint64 // journal records dropped as duplicates
+}
+
+type coordObs struct {
+	claims      *obs.Counter
+	reissues    *obs.Counter
+	completions *obs.Counter
+	staleDrops  *obs.Counter
+	records     *obs.Counter
+	dupRecords  *obs.Counter
+	pending     *obs.Gauge
+	leased      *obs.Gauge
+}
+
+func newCoordObs(reg *obs.Registry) coordObs {
+	return coordObs{
+		claims:      reg.Counter("sweep_leases_issued_total"),
+		reissues:    reg.Counter("sweep_leases_reissued_total"),
+		completions: reg.Counter("sweep_cells_completed_total"),
+		staleDrops:  reg.Counter("sweep_stale_messages_total"),
+		records:     reg.Counter("sweep_records_accepted_total"),
+		dupRecords:  reg.Counter("sweep_records_duplicate_total"),
+		pending:     reg.Gauge("sweep_cells_pending"),
+		leased:      reg.Gauge("sweep_cells_leased"),
+	}
+}
+
+// NewCoordinator builds the coordinator for one sweep. prior, when
+// non-nil, replays a previous (possibly partial) canonical journal:
+// its records are accepted and every cell whose record set is already
+// complete is marked done, so a resumed sweep leases out only the
+// missing cells. reg may be nil.
+func NewCoordinator(cfg Config, prior []experiments.JournalRecord, reg *obs.Registry) *Coordinator {
+	cfg.setDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		cells:   cfg.Cells(),
+		states:  make(map[Cell]*cellState),
+		leases:  make(map[uint64]*cellState),
+		records: make(map[recordKey]experiments.JournalRecord),
+		ob:      newCoordObs(reg),
+	}
+	for _, cell := range c.cells {
+		c.states[cell] = &cellState{cell: cell}
+	}
+	c.stats.Cells = len(c.cells)
+	for _, rec := range prior {
+		c.acceptLocked(rec)
+	}
+	for _, cell := range c.cells {
+		if c.completeSetLocked(cell) {
+			c.states[cell].done = true
+			c.stats.Done++
+			c.stats.Replayed++
+		}
+	}
+	c.gaugesLocked()
+	return c
+}
+
+// Config returns the sweep configuration workers must adopt.
+func (c *Coordinator) Config() Config { return c.cfg }
+
+// gaugesLocked refreshes the pending/leased gauges.
+func (c *Coordinator) gaugesLocked() {
+	c.ob.pending.Set(float64(c.stats.Cells - c.stats.Done - len(c.leases)))
+	c.ob.leased.Set(float64(len(c.leases)))
+}
+
+// expireLocked sweeps every lease whose TTL elapsed back to pending.
+// The cell keeps its delivery count (the next claim increments it) and
+// any records its late holder already appended.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, st := range c.leases {
+		if now.After(st.expiry) {
+			delete(c.leases, id)
+			st.leaseID = 0
+			c.stats.Reissues++
+			c.ob.reissues.Inc()
+		}
+	}
+}
+
+// Claim leases the first unleased, incomplete cell in deterministic
+// matrix order to a worker. done reports the terminal state — every
+// cell complete — and a (nil, false) return means everything is
+// currently leased out: the worker should poll again, since a lease
+// may yet expire.
+func (c *Coordinator) Claim(worker string, now time.Time) (lease *Lease, done bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	if c.stats.Done == c.stats.Cells {
+		c.gaugesLocked()
+		return nil, true
+	}
+	for _, cell := range c.cells {
+		st := c.states[cell]
+		if st.done || st.leaseID != 0 {
+			continue
+		}
+		c.nextID++
+		st.leaseID = c.nextID
+		st.expiry = now.Add(c.cfg.LeaseTTL)
+		delivery := st.deliveries
+		st.deliveries++
+		c.leases[st.leaseID] = st
+		c.stats.Claims++
+		c.ob.claims.Inc()
+		c.gaugesLocked()
+		return &Lease{ID: st.leaseID, Cell: cell, TTL: c.cfg.LeaseTTL, Delivery: delivery}, false
+	}
+	c.gaugesLocked()
+	return nil, false
+}
+
+// leaseLocked resolves a live, unexpired lease or fails with
+// ErrStaleLease (counting the drop).
+func (c *Coordinator) leaseLocked(id uint64, now time.Time) (*cellState, error) {
+	c.expireLocked(now)
+	st, ok := c.leases[id]
+	if !ok {
+		c.stats.StaleDrops++
+		c.ob.staleDrops.Inc()
+		return nil, fmt.Errorf("%w: lease %d", ErrStaleLease, id)
+	}
+	return st, nil
+}
+
+// Heartbeat extends a live lease's expiry by one TTL. A stale lease is
+// rejected — the worker should abandon the cell; its current holder
+// (or the next claim) owns it now.
+func (c *Coordinator) Heartbeat(id uint64, now time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, err := c.leaseLocked(id, now)
+	if err != nil {
+		return err
+	}
+	st.expiry = now.Add(c.cfg.LeaseTTL)
+	return nil
+}
+
+// Append accepts journal records from a live leaseholder, deduplicating
+// by record identity. Accepted records are durable: if the worker dies
+// before completing, its records survive for the merge — measurements
+// are deterministic, so a record is valid no matter which execution
+// produced it.
+func (c *Coordinator) Append(id uint64, recs []experiments.JournalRecord, now time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.leaseLocked(id, now); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		c.acceptLocked(rec)
+	}
+	return nil
+}
+
+// Complete marks a cell done. It requires a live lease AND a complete
+// record set for the cell (counting records shipped in this call):
+// completion is an accounting claim, and the coordinator verifies it
+// instead of trusting the worker. Late completions — the lease expired
+// and the cell was (or will be) re-issued — are rejected; the records
+// they carry are discarded, because the re-execution supplies identical
+// ones.
+func (c *Coordinator) Complete(id uint64, recs []experiments.JournalRecord, now time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, err := c.leaseLocked(id, now)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		c.acceptLocked(rec)
+	}
+	if !c.completeSetLocked(st.cell) {
+		return fmt.Errorf("%w: %s", ErrIncompleteCell, st.cell)
+	}
+	delete(c.leases, id)
+	st.leaseID = 0
+	st.done = true
+	c.stats.Done++
+	c.stats.Completions++
+	c.ob.completions.Inc()
+	c.gaugesLocked()
+	return nil
+}
+
+// acceptLocked stores one record, deduplicating by identity. Only
+// result and analysis records are journal-merged; anything else (e.g.
+// per-worker metrics snapshots) is dropped here.
+func (c *Coordinator) acceptLocked(rec experiments.JournalRecord) {
+	if rec.Kind != "result" && rec.Kind != "analysis" {
+		return
+	}
+	key := recordKey{kind: rec.Kind, bench: rec.Bench}
+	if rec.Kind == "result" {
+		key.policy = rec.Policy
+	}
+	if _, dup := c.records[key]; dup {
+		c.stats.DupRecords++
+		c.ob.dupRecords.Inc()
+		return
+	}
+	c.records[key] = rec
+	c.stats.Records++
+	c.ob.records.Inc()
+}
+
+// completeSetLocked reports whether every record a cell's execution
+// produces has been accepted.
+func (c *Coordinator) completeSetLocked(cell Cell) bool {
+	results, analysis := experiments.KeyRecordNames(cell.Policy)
+	if analysis {
+		if _, ok := c.records[recordKey{kind: "analysis", bench: cell.Bench}]; !ok {
+			return false
+		}
+	}
+	for _, name := range results {
+		if _, ok := c.records[recordKey{kind: "result", bench: cell.Bench, policy: name}]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Done reports whether every cell has completed.
+func (c *Coordinator) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats.Done == c.stats.Cells
+}
+
+// Stats returns a snapshot of the coordinator counters.
+func (c *Coordinator) Stats() CoordStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Leased = len(c.leases)
+	return st
+}
+
+// Merged folds the accepted records into canonical journal order: for
+// each benchmark in configured order, for each cell in matrix order,
+// the cell's analysis record (if any) followed by its results in
+// KeyRecordNames order — the same analysis-before-results discipline
+// the single-process journal keeps. The output is a pure function of
+// the record set, so any two sweeps that completed the same matrix
+// merge to byte-identical journals regardless of worker count, claim
+// interleaving, or crash history. Cells with incomplete record sets
+// are skipped entirely (a partial sweep merges to a partial journal a
+// resumed coordinator replays).
+func (c *Coordinator) Merged() []experiments.JournalRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []experiments.JournalRecord
+	for _, cell := range c.cells {
+		if !c.completeSetLocked(cell) {
+			continue
+		}
+		results, analysis := experiments.KeyRecordNames(cell.Policy)
+		if analysis {
+			out = append(out, c.records[recordKey{kind: "analysis", bench: cell.Bench}])
+		}
+		for _, name := range results {
+			out = append(out, c.records[recordKey{kind: "result", bench: cell.Bench, policy: name}])
+		}
+	}
+	return out
+}
+
+// WriteJournal merges (see Merged) and atomically writes the canonical
+// run journal to path.
+func (c *Coordinator) WriteJournal(path string) error {
+	return experiments.WriteJournalFile(path, c.cfg.Scale, c.Merged())
+}

@@ -1,0 +1,239 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// The wire protocol. Four lease verbs plus the remote checkpoint tier:
+//
+//	GET  /v1/config            sweep Config (workers adopt it verbatim)
+//	POST /v1/claim             {"worker":W} -> {"done":bool,"lease":{...}}
+//	POST /v1/heartbeat         {"lease":ID}
+//	POST /v1/append            {"lease":ID,"records":[...]}
+//	POST /v1/complete          {"lease":ID,"records":[...]}
+//	GET  /v1/status            coordinator + store counters (JSON)
+//	GET  /v1/ckpt/{key}        snapshot bytes by content key (404 miss)
+//	PUT  /v1/ckpt/{key}        digest-checked upload (400 corrupt)
+//	GET  /v1/ckpt/{key}/nearest  nearest-<= snapshot; X-Ckpt-Instr header
+//
+// Stale or superseded leases answer 409; completions with missing
+// records answer 422. Snapshot transfers carry their own FNV digest
+// footer, verified by vm.ReadSnapshot on whichever side decodes —
+// the server never stores an upload it could not decode, the client
+// never restores a download it could not verify.
+
+type claimRequest struct {
+	Worker string `json:"worker"`
+}
+
+type claimResponse struct {
+	Done  bool   `json:"done"`
+	Lease *Lease `json:"lease,omitempty"`
+}
+
+type leaseRequest struct {
+	Lease   uint64                      `json:"lease"`
+	Records []experiments.JournalRecord `json:"records,omitempty"`
+}
+
+// Server adapts a Coordinator and a checkpoint store to HTTP. The
+// store is the coordinator-side tier behind /v1/ckpt: typically
+// disk-backed so checkpoints survive the coordinator process, shared
+// by every worker in the sweep.
+type Server struct {
+	coord *Coordinator
+	store *ckpt.Store
+	mux   *http.ServeMux
+}
+
+// NewServer builds the HTTP adapter. store may be nil (the checkpoint
+// endpoints then serve 404/503: the sweep still works, workers just
+// cannot share warm checkpoints). reg/tr, when non-nil, mount the obs
+// exposition endpoints (/metrics, /metrics.json, /transitions) on the
+// same listener.
+func NewServer(coord *Coordinator, store *ckpt.Store, reg *obs.Registry, tr *obs.TransitionTrace) *Server {
+	s := &Server{coord: coord, store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/config", s.handleConfig)
+	s.mux.HandleFunc("POST /v1/claim", s.handleClaim)
+	s.mux.HandleFunc("POST /v1/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
+	s.mux.HandleFunc("POST /v1/complete", s.handleComplete)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/ckpt/{key}", s.handleCkptGet)
+	s.mux.HandleFunc("PUT /v1/ckpt/{key}", s.handleCkptPut)
+	s.mux.HandleFunc("GET /v1/ckpt/{key}/nearest", s.handleCkptNearest)
+	if reg != nil || tr != nil {
+		s.mux.Handle("/", obs.Handler(reg, tr))
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// readJSON decodes the request body, answering 400 on malformed input.
+func readJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.coord.Config())
+}
+
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	lease, done := s.coord.Claim(req.Worker, time.Now())
+	writeJSON(w, claimResponse{Done: done, Lease: lease})
+}
+
+// leaseStatus maps a lease-verb error to its HTTP status.
+func leaseStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrStaleLease):
+		return http.StatusConflict
+	case errors.Is(err, ErrIncompleteCell):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) leaseVerb(w http.ResponseWriter, r *http.Request, verb func(leaseRequest) error) {
+	var req leaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := verb(req); err != nil {
+		http.Error(w, err.Error(), leaseStatus(err))
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	s.leaseVerb(w, r, func(req leaseRequest) error {
+		return s.coord.Heartbeat(req.Lease, time.Now())
+	})
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	s.leaseVerb(w, r, func(req leaseRequest) error {
+		return s.coord.Append(req.Lease, req.Records, time.Now())
+	})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	s.leaseVerb(w, r, func(req leaseRequest) error {
+		return s.coord.Complete(req.Lease, req.Records, time.Now())
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	st := struct {
+		Coordinator CoordStats  `json:"coordinator"`
+		Ckpt        *ckpt.Stats `json:"ckpt,omitempty"`
+	}{Coordinator: s.coord.Stats()}
+	if s.store != nil {
+		cs := s.store.Stats()
+		st.Ckpt = &cs
+	}
+	writeJSON(w, st)
+}
+
+// parseKeyParam resolves the {key} path component, answering 400 on a
+// malformed key.
+func parseKeyParam(w http.ResponseWriter, r *http.Request) (ckpt.Key, bool) {
+	k, ok := ckpt.ParseKey(r.PathValue("key"))
+	if !ok {
+		http.Error(w, "bad checkpoint key", http.StatusBadRequest)
+	}
+	return k, ok
+}
+
+func (s *Server) handleCkptGet(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "no checkpoint store", http.StatusServiceUnavailable)
+		return
+	}
+	k, ok := parseKeyParam(w, r)
+	if !ok {
+		return
+	}
+	snap, ok := s.store.Lookup(k)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// Snapshots are immutable shared values; streaming outside the
+	// store lock is safe. The digest footer travels with the bytes.
+	_, _ = snap.WriteTo(w)
+}
+
+func (s *Server) handleCkptNearest(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "no checkpoint store", http.StatusServiceUnavailable)
+		return
+	}
+	k, ok := parseKeyParam(w, r)
+	if !ok {
+		return
+	}
+	snap, instr, ok := s.store.Nearest(k)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Ckpt-Instr", fmt.Sprintf("%d", instr))
+	_, _ = snap.WriteTo(w)
+}
+
+func (s *Server) handleCkptPut(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "no checkpoint store", http.StatusServiceUnavailable)
+		return
+	}
+	k, ok := parseKeyParam(w, r)
+	if !ok {
+		return
+	}
+	// Decode before storing: the digest footer is verified here, so a
+	// corrupt upload (torn connection, in-flight bit flip) is rejected
+	// with 400 and never enters the store.
+	snap, err := vm.ReadSnapshot(r.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("corrupt snapshot upload: %v", err), http.StatusBadRequest)
+		return
+	}
+	if snap.Instructions() != k.Instr {
+		http.Error(w, fmt.Sprintf("snapshot holds instr %d, key says %d", snap.Instructions(), k.Instr),
+			http.StatusBadRequest)
+		return
+	}
+	s.store.Put(k, snap)
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+)
+
+// timeSweep runs one full distributed sweep with the given worker count
+// and returns its wall-clock makespan (claim of the first cell to
+// completion of the last).
+func timeSweep(t *testing.T, cfg Config, workers int) time.Duration {
+	t.Helper()
+	coord := NewCoordinator(cfg, nil, nil)
+	store, err := ckpt.New(ckpt.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(coord, store, nil, nil).Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = RunWorker(WorkerOptions{
+				Client:  NewClient(ts.URL, nil),
+				ID:      fmt.Sprintf("w%d", i),
+				Context: ctx,
+				Poll:    10 * time.Millisecond,
+			})
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if !coord.Done() {
+		t.Fatalf("sweep incomplete: %+v", coord.Stats())
+	}
+	return elapsed
+}
+
+// TestSweepSmokeSpeedup is the scheduling smoke benchmark: the same
+// cell matrix swept by 4 workers must finish at least 2x faster than by
+// 1 worker. The bound is conservative — the matrix has far more cells
+// than workers and the slowest single cell is well under half the
+// serial makespan — so falling below it means the sweep serialized
+// somewhere (lease starvation, a coordinator bottleneck, or workers
+// waiting on each other's checkpoints).
+func TestSweepSmokeSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep smoke benchmark is slow; skipped in -short")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("needs 4 CPUs for a meaningful speedup bound; have %d", runtime.GOMAXPROCS(0))
+	}
+	cfg := Config{
+		Scale:      50_000,
+		Benchmarks: []string{"gzip", "vpr", "mcf", "perlbmk", "bzip2", "twolf"},
+		LeaseTTL:   30 * time.Second,
+	}
+
+	serial := timeSweep(t, cfg, 1)
+	parallel := timeSweep(t, cfg, 4)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("sweep makespan: 1 worker %v, 4 workers %v, speedup %.2fx", serial, parallel, speedup)
+	if speedup < 2.0 {
+		t.Fatalf("4-worker sweep speedup %.2fx, want >= 2x (serial %v, parallel %v)",
+			speedup, serial, parallel)
+	}
+}

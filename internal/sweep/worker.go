@@ -1,0 +1,389 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/sampling"
+)
+
+// WorkerOptions configures one sweep worker.
+type WorkerOptions struct {
+	// Client talks to the coordinator (required).
+	Client *Client
+	// ID names the worker in claims and progress output.
+	ID string
+	// Context cancels the worker loop (default: background).
+	Context context.Context
+	// Poll is how long to wait between claims when every remaining cell
+	// is leased elsewhere (default 200ms).
+	Poll time.Duration
+	// Progress receives human-readable progress lines.
+	Progress io.Writer
+	// CkptDir, when non-empty, gives the worker a local disk checkpoint
+	// tier under the coordinator's remote tier.
+	CkptDir string
+	// Timeout/Retries configure the runner's per-attempt deadline and
+	// retry ladder (see experiments.Options).
+	Timeout time.Duration
+	Retries int
+	// Faults, when non-nil, injects deterministic faults into the
+	// worker's local execution and checkpoint tiers. Network faults on
+	// the remote tier are configured on the Client.
+	Faults *faults.Injector
+	// Kill, when non-nil, is the crash-injection hook: called at stage
+	// "claimed" (lease held, cell not yet executed) and "appended" (cell
+	// executed and records shipped, completion not yet sent). Returning
+	// true makes the worker abandon the lease exactly as a killed
+	// process would — heartbeats stop, the completion never arrives, and
+	// the cell's lease expires into a re-issue.
+	Kill func(cell Cell, delivery int, stage string) bool
+	// Obs, when non-nil, receives worker/runner/store metrics.
+	Obs *obs.Registry
+}
+
+func (o *WorkerOptions) setDefaults() {
+	if o.ID == "" {
+		o.ID = "worker"
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
+	if o.Poll <= 0 {
+		o.Poll = 200 * time.Millisecond
+	}
+}
+
+// WorkerStats counts one worker's activity over a sweep.
+type WorkerStats struct {
+	Claims      uint64 // leases obtained
+	Completions uint64 // cells this worker completed
+	Abandons    uint64 // leases abandoned by the kill hook
+	StaleDrops  uint64 // completions rejected as stale (another holder won)
+	Failures    uint64 // cells whose execution failed (lease abandoned)
+	Executions  int    // measurements actually executed (not memo hits)
+}
+
+// keyCells maps each journal-record identity a sweep can produce to its
+// cell, so the worker's sink can route runner records to leases.
+type keyCells struct {
+	result   map[string]string // result policy name -> execution key
+	analysis string            // execution key owning analysis records
+}
+
+func newKeyCells(cells []Cell) keyCells {
+	kc := keyCells{result: make(map[string]string)}
+	seen := make(map[string]bool)
+	for _, c := range cells {
+		if seen[c.Policy] {
+			continue
+		}
+		seen[c.Policy] = true
+		names, analysis := experiments.KeyRecordNames(c.Policy)
+		for _, n := range names {
+			kc.result[n] = c.Policy
+		}
+		if analysis {
+			kc.analysis = c.Policy
+		}
+	}
+	return kc
+}
+
+// cellOf resolves the cell a journal record belongs to; ok=false for
+// kinds the sweep does not merge (e.g. metrics snapshots).
+func (kc keyCells) cellOf(rec experiments.JournalRecord) (Cell, bool) {
+	switch rec.Kind {
+	case "result":
+		key, ok := kc.result[rec.Policy]
+		if !ok {
+			return Cell{}, false
+		}
+		return Cell{Bench: rec.Bench, Policy: key}, true
+	case "analysis":
+		if kc.analysis == "" {
+			return Cell{}, false
+		}
+		return Cell{Bench: rec.Bench, Policy: kc.analysis}, true
+	default:
+		return Cell{}, false
+	}
+}
+
+// leaseSink is the worker's experiments.JournalSink: every record the
+// runner produces is buffered per cell for the lifetime of the worker
+// AND live-streamed to the coordinator under the current lease. The
+// buffer makes Complete self-contained — it always ships the cell's
+// full record set, so a completion never depends on earlier appends
+// having survived (the coordinator deduplicates).
+type leaseSink struct {
+	cl *Client
+	kc keyCells
+
+	mu        sync.Mutex
+	lease     uint64
+	leaseCell Cell
+	buf       map[Cell][]experiments.JournalRecord
+}
+
+func newLeaseSink(cl *Client, kc keyCells) *leaseSink {
+	return &leaseSink{cl: cl, kc: kc, buf: make(map[Cell][]experiments.JournalRecord)}
+}
+
+// setLease points the live stream at a lease (0 detaches).
+func (s *leaseSink) setLease(id uint64, cell Cell) {
+	s.mu.Lock()
+	s.lease, s.leaseCell = id, cell
+	s.mu.Unlock()
+}
+
+// records returns the buffered record set for one cell.
+func (s *leaseSink) records(cell Cell) []experiments.JournalRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]experiments.JournalRecord, len(s.buf[cell]))
+	copy(out, s.buf[cell])
+	return out
+}
+
+// Append implements experiments.JournalSink.
+func (s *leaseSink) Append(rec experiments.JournalRecord) error {
+	cell, ok := s.kc.cellOf(rec)
+	if !ok {
+		return nil
+	}
+	s.mu.Lock()
+	s.buf[cell] = append(s.buf[cell], rec)
+	id, leaseCell := s.lease, s.leaseCell
+	s.mu.Unlock()
+	if id == 0 || leaseCell != cell {
+		return nil
+	}
+	return s.cl.Append(id, []experiments.JournalRecord{rec})
+}
+
+// heartbeater keeps one lease alive from a background goroutine until
+// stopped. Losing the race (the lease expired anyway) is harmless: the
+// completion is rejected as stale and the cell is re-executed.
+type heartbeater struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startHeartbeat(cl *Client, id uint64, ttl time.Duration) *heartbeater {
+	h := &heartbeater{stop: make(chan struct{}), done: make(chan struct{})}
+	interval := ttl / 3
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				if err := cl.Heartbeat(id); errors.Is(err, ErrStaleLease) {
+					return // lease already lost; stop renewing
+				}
+			}
+		}
+	}()
+	return h
+}
+
+func (h *heartbeater) Stop() {
+	close(h.stop)
+	<-h.done
+}
+
+// RunWorker executes one worker against a coordinator until the sweep
+// completes (or the context is cancelled): fetch the shared config,
+// build a runner whose checkpoint store uses the coordinator as its
+// remote tier, then claim/execute/complete cells in a loop. The
+// returned stats are this worker's view only; the coordinator's
+// CoordStats holds the sweep-wide accounting.
+func RunWorker(opts WorkerOptions) (WorkerStats, error) {
+	opts.setDefaults()
+	var st WorkerStats
+	if opts.Client == nil {
+		return st, fmt.Errorf("sweep: worker %s: no client", opts.ID)
+	}
+	cfg, err := fetchConfigRetry(opts.Client, opts.Context)
+	if err != nil {
+		return st, fmt.Errorf("sweep: worker %s: %w", opts.ID, err)
+	}
+
+	cells := cfg.Cells()
+	policies := make(map[string]sampling.Policy)
+	for _, p := range experiments.ArtifactPolicies(cfg.Scale) {
+		key := experiments.PolicyKeyOf(p)
+		if _, ok := policies[key]; !ok {
+			policies[key] = p
+		}
+	}
+
+	// The worker builds its own store so the coordinator plugs in as the
+	// remote tier; the runner then shares warm checkpoints with every
+	// other worker in the sweep.
+	var fi ckpt.FaultInjector
+	if opts.Faults != nil {
+		fi = opts.Faults
+	}
+	store, err := ckpt.New(ckpt.Options{Dir: opts.CkptDir, Remote: opts.Client, Faults: fi, Obs: opts.Obs})
+	if err != nil {
+		store = ckpt.NewMemory()
+	}
+
+	sink := newLeaseSink(opts.Client, newKeyCells(cells))
+	runner := experiments.NewRunner(experiments.Options{
+		Scale:       cfg.Scale,
+		Benchmarks:  cfg.Benchmarks,
+		Parallelism: 1, // one lease at a time; scale out by adding workers
+		Progress:    opts.Progress,
+		CkptStore:   store,
+		Context:     opts.Context,
+		Timeout:     opts.Timeout,
+		Retries:     opts.Retries,
+		Faults:      opts.Faults,
+		Sink:        sink,
+		Obs:         opts.Obs,
+	})
+	defer runner.Close()
+
+	progress := func(format string, args ...interface{}) {
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "worker %s: "+format+"\n", append([]interface{}{opts.ID}, args...)...)
+		}
+	}
+
+	claimErrs := 0
+	for {
+		if err := opts.Context.Err(); err != nil {
+			st.Executions = runner.Executions()
+			return st, err
+		}
+		lease, done, err := opts.Client.Claim(opts.ID)
+		if err != nil {
+			claimErrs++
+			if claimErrs >= 5 {
+				st.Executions = runner.Executions()
+				return st, fmt.Errorf("sweep: worker %s: claim: %w", opts.ID, err)
+			}
+			sleepCtx(opts.Context, opts.Poll)
+			continue
+		}
+		claimErrs = 0
+		if done {
+			st.Executions = runner.Executions()
+			return st, nil
+		}
+		if lease == nil {
+			// Everything pending is leased elsewhere; a lease may yet
+			// expire back to us.
+			sleepCtx(opts.Context, opts.Poll)
+			continue
+		}
+		st.Claims++
+
+		if opts.Kill != nil && opts.Kill(lease.Cell, lease.Delivery, "claimed") {
+			// Simulated crash with the lease held and nothing done: no
+			// heartbeats, no completion. The lease expires into a
+			// re-issue.
+			st.Abandons++
+			progress("killed at claimed %s (delivery %d)", lease.Cell, lease.Delivery)
+			continue
+		}
+
+		hb := startHeartbeat(opts.Client, lease.ID, lease.TTL)
+		sink.setLease(lease.ID, lease.Cell)
+		p, ok := policies[lease.Cell.Policy]
+		var runErr error
+		if !ok {
+			runErr = fmt.Errorf("unknown policy key %q", lease.Cell.Policy)
+		} else {
+			_, runErr = runner.Run(lease.Cell.Bench, p)
+		}
+		sink.setLease(0, Cell{})
+
+		if runErr != nil {
+			hb.Stop()
+			st.Failures++
+			progress("cell %s failed: %v", lease.Cell, runErr)
+			if err := opts.Context.Err(); err != nil {
+				st.Executions = runner.Executions()
+				return st, err
+			}
+			// The lease is abandoned and will be re-issued; if the
+			// failure is permanent the sweep cannot finish, which the
+			// operator sees as a stuck /v1/status. Back off so a
+			// deterministic failure does not spin.
+			sleepCtx(opts.Context, opts.Poll)
+			continue
+		}
+
+		if opts.Kill != nil && opts.Kill(lease.Cell, lease.Delivery, "appended") {
+			// Simulated crash in the window between the journal appends
+			// and the completion — the records are already durable at
+			// the coordinator, the completion never arrives.
+			hb.Stop()
+			st.Abandons++
+			progress("killed at appended %s (delivery %d)", lease.Cell, lease.Delivery)
+			continue
+		}
+
+		err = opts.Client.Complete(lease.ID, sink.records(lease.Cell))
+		hb.Stop()
+		switch {
+		case err == nil:
+			st.Completions++
+		case errors.Is(err, ErrStaleLease):
+			// Our lease expired under us (e.g. a heartbeat lost a race
+			// with a slow cell); the current holder re-executes and its
+			// identical records win. Nothing to undo.
+			st.StaleDrops++
+			progress("stale completion for %s dropped", lease.Cell)
+		default:
+			st.Executions = runner.Executions()
+			return st, fmt.Errorf("sweep: worker %s: complete %s: %w", opts.ID, lease.Cell, err)
+		}
+	}
+}
+
+// fetchConfigRetry fetches the sweep config, retrying briefly so
+// workers may start before the coordinator finishes binding.
+func fetchConfigRetry(cl *Client, ctx context.Context) (Config, error) {
+	var lastErr error
+	for i := 0; i < 5; i++ {
+		if err := ctx.Err(); err != nil {
+			return Config{}, err
+		}
+		cfg, err := cl.FetchConfig()
+		if err == nil {
+			return cfg, nil
+		}
+		lastErr = err
+		sleepCtx(ctx, time.Duration(i+1)*100*time.Millisecond)
+	}
+	return Config{}, lastErr
+}
+
+// sleepCtx sleeps d or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/experiments"
+)
+
+// sweepFixture stands up a coordinator (with optional prior journal
+// records) behind a loopback server and runs one worker against it to
+// completion.
+func runOneWorker(t *testing.T, cfg Config, prior []experiments.JournalRecord,
+	kill func(Cell, int, string) bool) (*Coordinator, WorkerStats) {
+	t.Helper()
+	coord := NewCoordinator(cfg, prior, nil)
+	store, err := ckpt.New(ckpt.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(coord, store, nil, nil).Handler())
+	t.Cleanup(ts.Close)
+	cl := NewClient(ts.URL, nil)
+	st, err := RunWorker(WorkerOptions{
+		Client: cl,
+		ID:     "w0",
+		Poll:   10 * time.Millisecond,
+		Kill:   kill,
+	})
+	if err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	return coord, st
+}
+
+// TestWorkerKilledBetweenAppendAndComplete pins the classic crash
+// window: the worker dies after its journal records reached the
+// coordinator but before the completion message. Every cell suffers
+// exactly one such kill. The sweep must still converge with exactly-once
+// accounting — one completion per cell — and, because the records from
+// the dead lease survive, the re-claim completes from memoisation
+// without re-executing anything.
+func TestWorkerKilledBetweenAppendAndComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements; skipped in -short")
+	}
+	cfg := Config{Scale: 50_000, Benchmarks: []string{"gzip"}, LeaseTTL: 200 * time.Millisecond}
+	cells := cfg.Cells()
+
+	kill := func(cell Cell, delivery int, stage string) bool {
+		return stage == "appended" && delivery == 0
+	}
+	coord, wst := runOneWorker(t, cfg, nil, kill)
+
+	if !coord.Done() {
+		t.Fatalf("sweep incomplete: %+v", coord.Stats())
+	}
+	cst := coord.Stats()
+	if cst.Completions != uint64(len(cells)) {
+		t.Fatalf("Completions = %d, want exactly-once %d: %+v", cst.Completions, len(cells), cst)
+	}
+	if wst.Abandons != uint64(len(cells)) {
+		t.Fatalf("Abandons = %d, want one kill per cell (%d)", wst.Abandons, len(cells))
+	}
+	if cst.Reissues < uint64(len(cells)) {
+		t.Fatalf("Reissues = %d, want >= %d (every killed lease re-issued)", cst.Reissues, len(cells))
+	}
+	// The kill landed after the records were durable, so the re-claim is
+	// served from memoisation: one execution per cell despite two
+	// deliveries of each.
+	if wst.Executions != len(cells) {
+		t.Fatalf("Executions = %d, want %d (no re-execution after post-append kills)",
+			wst.Executions, len(cells))
+	}
+
+	// The merged journal holds each cell's record set exactly once, in
+	// canonical order, with no leaked duplicates.
+	merged := coord.Merged()
+	seen := make(map[string]bool)
+	for _, rec := range merged {
+		id := rec.Kind + "/" + rec.Bench + "/" + rec.Policy
+		if seen[id] {
+			t.Fatalf("duplicate record in merged journal: %s", id)
+		}
+		seen[id] = true
+	}
+	var want int
+	for _, cell := range cells {
+		names, analysis := experiments.KeyRecordNames(cell.Policy)
+		want += len(names)
+		if analysis {
+			want++
+		}
+	}
+	if len(merged) != want {
+		t.Fatalf("merged journal holds %d records, want %d", len(merged), want)
+	}
+}
+
+// TestSweepResumeExecutesStrictlyLess pins sweep-level resume: a
+// coordinator rebuilt over the previous sweep's (partial) merged
+// journal leases out only the missing cells, so the resumed sweep
+// re-executes strictly less than the original.
+func TestSweepResumeExecutesStrictlyLess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements; skipped in -short")
+	}
+	cfg := Config{Scale: 50_000, Benchmarks: []string{"gzip"}, LeaseTTL: 30 * time.Second}
+	cells := cfg.Cells()
+
+	// Original sweep, from scratch: executes every cell.
+	coord, wst := runOneWorker(t, cfg, nil, nil)
+	if wst.Executions != len(cells) {
+		t.Fatalf("fresh sweep executed %d cells, want %d", wst.Executions, len(cells))
+	}
+
+	// Persist the canonical journal, then simulate a crash that lost the
+	// last cell: the prior journal holds all but one record set.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	if err := coord.WriteJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	records, err := experiments.ReadJournal(path, cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := cells[len(cells)-1]
+	lastNames, _ := experiments.KeyRecordNames(last.Policy)
+	isLast := func(rec experiments.JournalRecord) bool {
+		if rec.Bench != last.Bench || rec.Kind != "result" {
+			return false
+		}
+		for _, n := range lastNames {
+			if rec.Policy == n {
+				return true
+			}
+		}
+		return false
+	}
+	var prior []experiments.JournalRecord
+	for _, rec := range records {
+		if !isLast(rec) {
+			prior = append(prior, rec)
+		}
+	}
+
+	// Resumed sweep: only the lost cell is leased and executed.
+	coord2, wst2 := runOneWorker(t, cfg, prior, nil)
+	if !coord2.Done() {
+		t.Fatalf("resumed sweep incomplete: %+v", coord2.Stats())
+	}
+	cst := coord2.Stats()
+	if cst.Replayed != len(cells)-1 {
+		t.Fatalf("Replayed = %d, want %d", cst.Replayed, len(cells)-1)
+	}
+	if wst2.Executions >= wst.Executions {
+		t.Fatalf("resumed sweep executed %d cells, want strictly fewer than %d",
+			wst2.Executions, wst.Executions)
+	}
+	if wst2.Executions != 1 {
+		t.Fatalf("resumed sweep executed %d cells, want exactly the lost one", wst2.Executions)
+	}
+
+	// Both merged journals are byte-identical once the resumed sweep
+	// refills the hole.
+	path2 := filepath.Join(dir, "journal2.jsonl")
+	if err := coord2.WriteJournal(path2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := experiments.ReadJournal(path, cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiments.ReadJournal(path2, cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("merged journals differ: %d vs %d records", len(a), len(b))
+	}
+}
