@@ -36,8 +36,14 @@ fuzz-smoke:
 # -sweep adds the sweep-equivalence check: a distributed multi-worker
 # sweep (with seeded worker kills and network faults) must produce a
 # merged journal byte-identical to sequential execution.
+# -stats adds the statistical-validity check: the Stratified/RankedSet
+# confidence intervals must deliver their claimed coverage against
+# full-timing ground truth, stay seed-deterministic through the
+# journal, and honour the error-targeting budget/width contract
+# (reduced seed sweep here; CI's statistical-validity job runs the
+# full design).
 diffcheck:
-	$(GO) run ./cmd/diffcheck -seed 1 -n 200 -batch -faults -obs -sweep
+	$(GO) run ./cmd/diffcheck -seed 1 -n 200 -batch -faults -obs -sweep -stats -stats-runs 25
 
 golden-update:
 	$(GO) test ./internal/experiments -run TestGolden -update

@@ -38,6 +38,13 @@
 // artifact bundle is rendered with and without instrumentation and must
 // be byte-identical (the obs layer must be inert).
 //
+// The -stats flag additionally runs the statistical-validity check:
+// the Stratified and RankedSet policies are swept across seeds against
+// full-timing ground truth and must deliver the empirical interval
+// coverage they claim, seed-deterministic journal-stable results, and
+// an error-targeting mode that honours its budget and width contract.
+// -stats-runs scales the sweep (seeded runs per policy per benchmark).
+//
 // Program checks run seeds seed..seed+n-1. Any divergence is reported
 // with the first differing field and a disassembled window around the
 // divergence PC, and the exit status is 1; re-running with the printed
@@ -68,6 +75,8 @@ func main() {
 		sweep        = flag.Bool("sweep", false, "also run the sweep-equivalence check (distributed coordinator/worker sweep vs sequential artifacts)")
 		sweepWorkers = flag.String("sweep-workers", "", "comma-separated worker counts for -sweep (default 2,4)")
 		obsf         = flag.Bool("obs", false, "also run the observability-invariance checks (metrics/trace attached vs plain, results and artifacts identical)")
+		statsf       = flag.Bool("stats", false, "also run the statistical-validity check (interval coverage, determinism, error targeting of the Stratified/RankedSet policies)")
+		statsRuns    = flag.Int("stats-runs", 0, "seeded runs per policy per benchmark for -stats (0 = default 100)")
 		scale        = flag.Int("scale", 50_000, "benchmark scale divisor for policy determinism")
 		bench        = flag.String("bench", "gzip,mcf", "comma-separated benchmarks for policy determinism (\"all\" = every benchmark)")
 		verb         = flag.Bool("v", false, "report every seed, not just failures")
@@ -242,6 +251,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("diffcheck: sweep equivalence ok (distributed sweep byte-identical to sequential run, exactly-once accounting)")
+	}
+
+	if *statsf {
+		so := check.StatValidityOptions{Runs: *statsRuns}
+		if *verb {
+			so.Progress = os.Stderr
+		}
+		if err := check.StatisticalValidity(so); err != nil {
+			fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("diffcheck: statistical validity ok (interval coverage, seed determinism, journal round-trip, error targeting)")
 	}
 }
 

@@ -8,6 +8,13 @@
 //	dynsim -bench mcf  -policy smarts
 //	dynsim -bench art  -policy simpoint -prof
 //	dynsim -bench gcc  -policy full
+//	dynsim -bench gzip -policy stratified -strata 6 -samples 48
+//	dynsim -bench mcf  -policy rankedset -target 0.01 -budget 400
+//
+// The stratified and rankedset policies report their CPI estimate with
+// a confidence interval ("CPI ± halfwidth"); -target switches them to
+// error-targeting mode, refining until the interval's relative
+// half-width drops below the target or -budget is exhausted.
 package main
 
 import (
@@ -33,12 +40,20 @@ import (
 
 func main() {
 	bench := flag.String("bench", "gzip", "benchmark name (see cmd/spectable for the suite)")
-	policy := flag.String("policy", "dynamic", "full | smarts | simpoint | dynamic")
+	policy := flag.String("policy", "dynamic", "full | smarts | simpoint | dynamic | stratified | rankedset")
 	metric := flag.String("metric", "CPU", "dynamic sampling monitored variable: CPU, EXC, or I/O")
 	sens := flag.Float64("sens", 300, "dynamic sampling sensitivity (percent)")
 	intervalMul := flag.Uint64("interval", 1, "interval length multiplier (1=1M, 10=10M, 100=100M)")
 	maxFunc := flag.Int("maxfunc", 0, "max consecutive functional intervals (0 = unlimited)")
 	prof := flag.Bool("prof", false, "simpoint: charge the profiling pass (SimPoint+prof)")
+	strata := flag.Int("strata", 0, "stratified: number of proxy strata (0 = default 6)")
+	samples := flag.Int("samples", 0, "stratified: detailed-timing samples across strata (0 = default 48)")
+	setSize := flag.Int("setsize", 0, "rankedset: candidates ranked per set (0 = default 4)")
+	cycles := flag.Int("cycles", 0, "rankedset: balanced measurement cycles (0 = default 12)")
+	target := flag.Float64("target", 0, "stratified/rankedset: refine until the CPI interval's relative half-width is below this fraction, e.g. 0.01 = ±1% (0 = fixed design)")
+	budget := flag.Int("budget", 0, "measurement budget for -target: samples (stratified) or cycles (rankedset); 0 = policy default")
+	conf := flag.Float64("conf", 0, "stratified/rankedset: confidence level of the CPI interval (0 = default 0.95)")
+	statSeed := flag.Uint64("seed", 17, "stratified/rankedset: sampling seed")
 	scale := flag.Int("scale", 2000, "workload scale divisor")
 	baseline := flag.Bool("baseline", false, "also run full timing and report error/speedup")
 	ckptDir := flag.String("ckpt-dir", "", "persist checkpoints to this directory (warm-starts later runs)")
@@ -99,6 +114,36 @@ func main() {
 			os.Exit(1)
 		}
 		p = sampling.NewDynamic(m, *sens, *intervalMul, *maxFunc)
+	case "stratified":
+		sp := sampling.NewStratified(*statSeed)
+		if *strata != 0 {
+			sp.Strata = *strata
+		}
+		if *samples != 0 {
+			sp.Samples = *samples
+		}
+		if *conf != 0 {
+			sp.Confidence = *conf
+		}
+		if *target != 0 {
+			sp = sp.WithTarget(*target, *budget)
+		}
+		p = sp
+	case "rankedset":
+		rp := sampling.NewRankedSet(*statSeed)
+		if *setSize != 0 {
+			rp.SetSize = *setSize
+		}
+		if *cycles != 0 {
+			rp.Cycles = *cycles
+		}
+		if *conf != 0 {
+			rp.Confidence = *conf
+		}
+		if *target != 0 {
+			rp = rp.WithTarget(*target, *budget)
+		}
+		p = rp
 	default:
 		fmt.Fprintf(os.Stderr, "dynsim: unknown policy %q\n", *policy)
 		os.Exit(1)
@@ -192,6 +237,13 @@ func main() {
 	fmt.Printf("policy         %s\n", res.Policy)
 	fmt.Printf("instructions   %d (paper budget %d G / scale %d)\n", res.Instructions, spec.PaperGInstr, *scale)
 	fmt.Printf("estimated IPC  %.4f\n", res.EstIPC)
+	if iv := res.CPIInterval; iv != nil {
+		fmt.Printf("CPI estimate   %.4f ± %.4f (±%.1f%% at %.0f%% confidence)\n",
+			iv.Point, iv.HalfWidth(), iv.RelHalfWidth()*100, iv.Confidence*100)
+		if *target != 0 {
+			fmt.Printf("error target   ±%.3g%%: met=%v\n", *target*100, res.TargetMet)
+		}
+	}
 	fmt.Printf("timing samples %d\n", res.Samples)
 	fmt.Printf("modelled time  %s (paper-equivalent %s)\n",
 		hostcost.FormatDuration(res.Cost.Seconds),

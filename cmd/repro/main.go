@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-scale N] [-bench gzip,mcf,...] [-only table1,fig5,...] [-parallel N] [-q]
+//	repro [-scale N] [-bench gzip,mcf,...] [-only table1,tableci,fig5,...] [-parallel N] [-q]
 //
 // The workload scale divides the paper's instruction budgets; 2000 (the
 // default) runs the full suite in a few minutes on a multicore host.
@@ -65,7 +65,7 @@ type experiment struct {
 func main() {
 	scale := flag.Int("scale", 2000, "workload scale divisor (paper instructions / scale)")
 	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all 26)")
-	only := flag.String("only", "all", "comma-separated experiments: table1,table2,fig2..fig9")
+	only := flag.String("only", "all", "comma-separated experiments: table1,table2,tableci,fig2..fig9")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (default: NumCPU)")
 	quiet := flag.Bool("q", false, "suppress per-run progress output")
 	csvDir := flag.String("csv", "", "also export figure data as CSV files into this directory")
@@ -182,6 +182,7 @@ func main() {
 	all := []experiment{
 		{"table1", "timing simulator parameters", func(r *experiments.Runner, w io.Writer) error { return experiments.Table1(w) }},
 		{"table2", "benchmark characteristics", experiments.Table2},
+		{"tableci", "CPI confidence intervals (stratified & ranked-set sampling)", experiments.TableCI},
 		{"fig2", "IPC vs VM statistic correlation (perlbmk)", experiments.Figure2},
 		{"fig3", "sampling scheme schematics", experiments.Figure3},
 		{"fig4", "SimPoint vs Dynamic Sampling phases (perlbmk)", experiments.Figure4},

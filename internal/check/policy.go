@@ -12,14 +12,17 @@ import (
 )
 
 // DefaultPolicies returns one representative of every policy family the
-// paper compares — FullTiming, SMARTS, SimPoint, and Dynamic Sampling —
-// configured for a benchmark with the given total instruction budget.
+// repo implements — FullTiming, SMARTS, SimPoint, Dynamic Sampling, and
+// the statistical designs (Stratified, RankedSet) — configured for a
+// benchmark with the given total instruction budget.
 func DefaultPolicies(totalInstr uint64) []sampling.Policy {
 	return []sampling.Policy{
 		sampling.FullTiming{},
 		sampling.DefaultSMARTS(totalInstr),
 		simpoint.New(false),
 		sampling.NewDynamic(vm.MetricCPU, 300, 1, 10),
+		sampling.NewStratified(17),
+		sampling.NewRankedSet(17),
 	}
 }
 
@@ -69,8 +72,28 @@ func compareResults(a, b sampling.Result) error {
 		return fmt.Errorf("CIHalfWidthPct %v != %v", a.CIHalfWidthPct, b.CIHalfWidthPct)
 	case math.Float64bits(a.Cost.Units) != math.Float64bits(b.Cost.Units):
 		return fmt.Errorf("Cost.Units %v != %v", a.Cost.Units, b.Cost.Units)
+	case a.TargetMet != b.TargetMet:
+		return fmt.Errorf("TargetMet %v != %v", a.TargetMet, b.TargetMet)
+	case (a.CPIInterval == nil) != (b.CPIInterval == nil):
+		return fmt.Errorf("CPIInterval %v != %v", a.CPIInterval, b.CPIInterval)
 	case len(a.Detections) != len(b.Detections):
 		return fmt.Errorf("Detections %v != %v", a.Detections, b.Detections)
+	}
+	if a.CPIInterval != nil {
+		x, y := *a.CPIInterval, *b.CPIInterval
+		for _, f := range []struct {
+			name string
+			a, b float64
+		}{
+			{"Point", x.Point, y.Point},
+			{"Lo", x.Lo, y.Lo},
+			{"Hi", x.Hi, y.Hi},
+			{"Confidence", x.Confidence, y.Confidence},
+		} {
+			if math.Float64bits(f.a) != math.Float64bits(f.b) {
+				return fmt.Errorf("CPIInterval.%s %v != %v", f.name, f.a, f.b)
+			}
+		}
 	}
 	for i := range a.Detections {
 		if a.Detections[i] != b.Detections[i] {

@@ -1,0 +1,48 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStatisticalValidity runs a reduced seed sweep in `go test` (the
+// full 100-seeds-per-benchmark design runs in CI's statistical-validity
+// job and via `diffcheck -stats`). Everything is seeded, so the
+// coverage fraction this asserts is a deterministic property of the
+// estimator layer, not a statistical coin flip.
+func TestStatisticalValidity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep across both statistical policies")
+	}
+	o := StatValidityOptions{Runs: 25}
+	if err := StatisticalValidity(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The harness must reject a vacuous configuration loudly rather than
+// pass on an empty sweep.
+func TestStatisticalValidityRejectsBadBench(t *testing.T) {
+	t.Parallel()
+	err := StatisticalValidity(StatValidityOptions{Benchmarks: []string{"no-such-bench"}, Runs: 1})
+	if err == nil || !strings.Contains(err.Error(), "no-such-bench") {
+		t.Fatalf("expected unknown-benchmark error, got %v", err)
+	}
+}
+
+// An impossible coverage demand must fail: this proves the coverage
+// gate is actually evaluated (anti-vacuity for the harness itself).
+func TestStatisticalValidityCoverageGateBites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs seeded designs")
+	}
+	o := StatValidityOptions{
+		Benchmarks:  []string{"gzip"},
+		Runs:        3,
+		MinCoverage: 1.01, // unattainable by construction
+	}
+	err := StatisticalValidity(o)
+	if err == nil || !strings.Contains(err.Error(), "coverage") {
+		t.Fatalf("expected coverage failure, got %v", err)
+	}
+}

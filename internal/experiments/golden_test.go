@@ -40,6 +40,7 @@ func TestGolden(t *testing.T) {
 		{"table1", func(b *bytes.Buffer) error { return Table1(b) }},
 		{"table2", func(b *bytes.Buffer) error { return Table2(r, b) }},
 		{"figure2", func(b *bytes.Buffer) error { return Figure2(r, b) }},
+		{"tableci", func(b *bytes.Buffer) error { return TableCI(r, b) }},
 	}
 	for _, c := range renders {
 		t.Run(c.name, func(t *testing.T) {
@@ -94,6 +95,7 @@ func TestGoldenBatchInvariance(t *testing.T) {
 			}{
 				{"table2", func(b *bytes.Buffer) error { return Table2(r, b) }},
 				{"figure2", func(b *bytes.Buffer) error { return Figure2(r, b) }},
+				{"tableci", func(b *bytes.Buffer) error { return TableCI(r, b) }},
 			} {
 				var buf bytes.Buffer
 				if err := c.run(&buf); err != nil {

@@ -26,12 +26,28 @@ func BaselinePolicies(scale int) []sampling.Policy {
 	}
 }
 
+// StatSeed is the canonical seed of the artifact-bundle statistical
+// policies. Fixed so the rendered tables (and the distributed sweep's
+// cell matrix) name stable policy keys.
+const StatSeed = 17
+
+// StatPolicies returns the statistical sampling designs the artifact
+// bundle reports with confidence intervals: two-phase stratified
+// sampling and ranked-set sampling, at the canonical seed.
+func StatPolicies() []sampling.Policy {
+	return []sampling.Policy{
+		sampling.NewStratified(StatSeed),
+		sampling.NewRankedSet(StatSeed),
+	}
+}
+
 // ArtifactPolicies returns the policy matrix behind the canonical
-// artifact bundle (RenderArtifacts: Table 2 + Figure 8). The
-// distributed sweep shards exactly this matrix: Table 2's SimPoint
-// analyses and full-timing baselines come from the same cells.
+// artifact bundle (RenderArtifacts: Table 2 + Figure 8 + the CPI
+// confidence-interval table). The distributed sweep shards exactly
+// this matrix: Table 2's SimPoint analyses and full-timing baselines
+// come from the same cells.
 func ArtifactPolicies(scale int) []sampling.Policy {
-	return fig89Policies(scale)
+	return append(fig89Policies(scale), StatPolicies()...)
 }
 
 // PolicyKeyOf exposes the runner's execution-key mapping: the identity
@@ -85,5 +101,6 @@ func AllPolicies(scale int) []sampling.Policy {
 	out := BaselinePolicies(scale)
 	out = append(out, Fig67Policies()...)
 	out = append(out, Fig5Extra()...)
+	out = append(out, StatPolicies()...)
 	return out
 }

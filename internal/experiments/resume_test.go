@@ -3,12 +3,19 @@ package experiments
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+	"repro/internal/workload"
 )
 
 func resumeTestOptions(journal string) Options {
@@ -135,6 +142,134 @@ func TestRunAllKilledMidFlightResumes(t *testing.T) {
 	}
 	if execs >= coldExecs {
 		t.Fatalf("resumed run executed %d, want < %d", execs, coldExecs)
+	}
+}
+
+// TestStatPolicyKeysJournalRoundTrip is the property pin for the
+// statistical policies' journal contract: for arbitrary seeds, a
+// Stratified or RankedSet result written to the JSONL journal under its
+// policy key replays bit-identically — same key, same JSON bytes — so a
+// resumed run can serve the replayed record as the result. Seeds are
+// drawn by testing/quick from a fixed source; every draw is itself a
+// fully deterministic design.
+func TestStatPolicyKeysJournalRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs seeded statistical designs")
+	}
+	const scale = 50_000
+	spec, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	iter := 0
+	prop := func(seed uint64) bool {
+		iter++
+		for _, p := range []sampling.Policy{sampling.NewStratified(seed), sampling.NewRankedSet(seed)} {
+			res, err := p.Run(core.NewSession(spec, core.Options{Scale: scale}))
+			if err != nil {
+				t.Errorf("seed %d: %s: %v", seed, p.Name(), err)
+				return false
+			}
+			if res.CPIInterval == nil {
+				t.Errorf("seed %d: %s reported no interval", seed, p.Name())
+				return false
+			}
+			rec := JournalRecord{Kind: "result", Bench: spec.Name, Policy: p.Name(), Result: &res}
+			path := filepath.Join(dir, fmt.Sprintf("prop-%d.jsonl", iter))
+			if err := WriteJournalFile(path, scale, []JournalRecord{rec}); err != nil {
+				t.Errorf("seed %d: %s: write journal: %v", seed, p.Name(), err)
+				return false
+			}
+			back, err := ReadJournal(path, scale)
+			if err != nil || len(back) != 1 {
+				t.Errorf("seed %d: %s: replay got %d records, err %v", seed, p.Name(), len(back), err)
+				return false
+			}
+			if back[0].Policy != p.Name() || back[0].Bench != spec.Name {
+				t.Errorf("seed %d: key %q/%q replayed as %q/%q",
+					seed, spec.Name, p.Name(), back[0].Bench, back[0].Policy)
+				return false
+			}
+			want, err := json.Marshal(rec)
+			if err != nil {
+				t.Errorf("seed %d: %s: marshal: %v", seed, p.Name(), err)
+				return false
+			}
+			got, err := json.Marshal(back[0])
+			if err != nil {
+				t.Errorf("seed %d: %s: re-marshal: %v", seed, p.Name(), err)
+				return false
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("seed %d: %s: journal round-trip changed the record's bytes", seed, p.Name())
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 5, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatPolicyResumeFromFilteredJournal pins resume behaviour for the
+// statistical policy keys specifically. With only the Strat/RSS records
+// journaled, a resume must replay exactly those cells and re-execute
+// everything else; with everything but those records journaled, it must
+// re-execute exactly those cells. Either way the rendered artifacts are
+// byte-identical to the cold run — replayed statistical results are
+// indistinguishable from freshly measured ones.
+func TestStatPolicyResumeFromFilteredJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resume sweep is slow; skipped in -short")
+	}
+	dir := t.TempDir()
+	cold := filepath.Join(dir, "cold.jsonl")
+	opts := resumeTestOptions(cold)
+	golden, coldExecs := renderAll(t, opts)
+	records, err := ReadJournal(cold, opts.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	statName := make(map[string]bool)
+	for _, p := range StatPolicies() {
+		statName[p.Name()] = true
+	}
+	var statRecs, otherRecs []JournalRecord
+	for _, rec := range records {
+		if rec.Kind == "result" && statName[rec.Policy] {
+			statRecs = append(statRecs, rec)
+		} else {
+			otherRecs = append(otherRecs, rec)
+		}
+	}
+	// Both policies on every benchmark, one result record per execution.
+	if want := len(statName) * len(opts.Benchmarks); len(statRecs) != want {
+		t.Fatalf("journal holds %d statistical-policy records, want %d", len(statRecs), want)
+	}
+
+	for _, c := range []struct {
+		name      string
+		keep      []JournalRecord
+		wantExecs int
+	}{
+		{"only-stat-journaled", statRecs, coldExecs - len(statRecs)},
+		{"all-but-stat-journaled", otherRecs, len(statRecs)},
+	} {
+		path := filepath.Join(dir, c.name+".jsonl")
+		if err := WriteJournalFile(path, opts.Scale, c.keep); err != nil {
+			t.Fatal(err)
+		}
+		got, execs := renderAll(t, resumeTestOptions(path))
+		if !bytes.Equal(got, golden) {
+			t.Errorf("%s: resumed artifacts diverge from cold run", c.name)
+		}
+		if execs != c.wantExecs {
+			t.Errorf("%s: resumed run executed %d, want %d", c.name, execs, c.wantExecs)
+		}
 	}
 }
 

@@ -13,13 +13,73 @@ import (
 
 // RenderArtifacts renders the compact artifact bundle the robustness
 // harnesses compare byte-for-byte: Table 2 (exercises the SimPoint
-// analysis and baseline paths) and Figure 8 (a full RunAll matrix).
+// analysis and baseline paths), Figure 8 (a full RunAll matrix), and
+// TableCI (the statistical policies' CPI confidence intervals).
 func RenderArtifacts(r *Runner, w io.Writer) error {
 	if err := Table2(r, w); err != nil {
 		return err
 	}
 	fmt.Fprintln(w)
-	return Figure8(r, w)
+	if err := Figure8(r, w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return TableCI(r, w)
+}
+
+// TableCI renders the statistical sampling policies' per-benchmark CPI
+// point estimates with their confidence intervals ("CPI ± halfwidth"),
+// next to the full-timing reference CPI and whether the claimed
+// interval covers it. This is the artifact face of the estimator
+// layer: the stratified-variance and bootstrap intervals from
+// internal/stats, per policy key, per benchmark.
+func TableCI(r *Runner, w io.Writer) error {
+	pols := StatPolicies()
+	results, err := r.RunAll(pols)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table 3. CPI estimates with confidence intervals (scale 1/%d)\n", r.Options().Scale)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tpolicy\tCPI\t±\trel\tsamples\tfull CPI\tcovers")
+	for _, bench := range r.Benchmarks() {
+		fullCPI, haveFull := 0.0, false
+		if base, err := r.Baseline(bench); err == nil && base.EstIPC > 0 {
+			fullCPI, haveFull = 1/base.EstIPC, true
+		}
+		for _, p := range pols {
+			name := p.Name()
+			res, ok := results[bench][name]
+			if !ok {
+				fmt.Fprintf(tw, "%s\t%s\t%s\t-\t-\t-\t-\t-\n",
+					bench, name, cellText(r, results, bench, name, "%v",
+						func(res sampling.Result) interface{} { return res.EstIPC }))
+				continue
+			}
+			iv := res.CPIInterval
+			if iv == nil {
+				fmt.Fprintf(tw, "%s\t%s\t-\t-\t-\t%d\t-\t-\n", bench, name, res.Samples)
+				continue
+			}
+			full, covers := "-", "-"
+			if haveFull {
+				full = fmt.Sprintf("%.4f", fullCPI)
+				if iv.Contains(fullCPI) {
+					covers = "yes"
+				} else {
+					covers = "no"
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.4f\t%.4f\t%.1f%%\t%d\t%s\t%s\n",
+				bench, name, iv.Point, iv.HalfWidth(), iv.RelHalfWidth()*100,
+				res.Samples, full, covers)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	failureFooter(r, w)
+	return nil
 }
 
 // Table1 renders the timing-simulator configuration (Table 1).

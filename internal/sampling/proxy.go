@@ -1,0 +1,78 @@
+package sampling
+
+import (
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// defaultProxyMetrics is the combined cheap-phase signal: every VM
+// statistic the paper's Dynamic policy can monitor, summed. The mix
+// tracks phase structure better than any single variable because each
+// signal misses transitions the others catch.
+func defaultProxyMetrics() []vm.Metric {
+	return []vm.Metric{vm.MetricCPU, vm.MetricEXC, vm.MetricIO}
+}
+
+// proxyProfile is the cheap first phase of the two-phase designs: run
+// the whole budget at full VM speed and record, per base interval, the
+// sum of the monitored statistic deltas. Only full intervals enter the
+// sampling frame — a partial tail interval is executed (the functional
+// path must complete) but not recorded. The session ends positioned at
+// budget exhaustion; callers Reset() before the measurement pass.
+func proxyProfile(s *core.Session, metrics []vm.Metric) []float64 {
+	interval := s.IntervalLen()
+	var vals []float64
+	prev := s.Machine().Stats()
+	for !s.Done() {
+		ex := s.RunFast(interval)
+		if ex == 0 {
+			break
+		}
+		var delta vm.Stats
+		delta, prev = s.StatsDelta(prev)
+		if ex < interval {
+			break
+		}
+		v := 0.0
+		for _, m := range metrics {
+			v += float64(delta.Value(m))
+		}
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// measureIntervals takes one ascending measurement pass over a freshly
+// Reset session: for each base-interval index, full-speed execution up
+// to the warm-up point, detailed warming into the interval, then one
+// timed interval. visit receives the interval index and its measured
+// CPI. Returns the number of measurements taken; the pass stops early
+// only if the guest halts.
+func measureIntervals(s *core.Session, indices []int, warmIntervals int, po policyObs, visit func(idx int, cpi float64)) int {
+	interval := s.IntervalLen()
+	warmLen := interval * uint64(warmIntervals)
+	taken := 0
+	for _, idx := range indices {
+		start := uint64(idx) * interval
+		warmStart := uint64(0)
+		if start > warmLen {
+			warmStart = start - warmLen
+		}
+		if cur := s.Executed(); warmStart > cur {
+			if s.RunFast(warmStart-cur) == 0 {
+				break
+			}
+		}
+		if cur := s.Executed(); start > cur {
+			s.RunDetailWarm(start - cur)
+		}
+		ipc, ex := s.RunTimed(interval)
+		if ex < interval || ipc <= 0 {
+			break
+		}
+		visit(idx, 1/ipc)
+		po.sample(ipc)
+		taken++
+	}
+	return taken
+}

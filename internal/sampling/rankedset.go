@@ -1,0 +1,292 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// RankedSet implements ranked set sampling with repeated subsampling
+// (Ekman & Stenström): the cheap first-phase proxy profile ranks small
+// candidate sets of intervals, and only one member of each set — the
+// r-th ranked, with r cycling through 1..m for a balanced design — is
+// measured with detailed timing. Ranking by the free proxy spreads the
+// measured sample across the CPI distribution, which beats simple
+// random sampling whenever the proxy correlates with CPI. The estimate
+// is the mean of the measured CPIs; its confidence interval comes from
+// a deterministic bootstrap over the per-cycle subsample means.
+//
+// With TargetRelHW set the policy adds measurement cycles until the
+// interval is within the requested width or the cycle budget is
+// exhausted, replaying the guest for each extra round.
+type RankedSet struct {
+	// Metrics are the VM statistics summed into the ranking proxy
+	// (nil = all of CPU, EXC, I/O).
+	Metrics []vm.Metric
+	// SetSize is m, the number of candidates ranked per set.
+	SetSize int
+	// Cycles is the number of balanced cycles (m measurements each).
+	Cycles int
+	// WarmIntervals is the detailed warm-up before each measurement.
+	WarmIntervals int
+	// Confidence is the level of the reported interval.
+	Confidence float64
+	// Bootstrap is the number of bootstrap resamples.
+	Bootstrap int
+	// TargetRelHW, when positive, requests an interval no wider than
+	// ±TargetRelHW (fraction of CPI) at Confidence.
+	TargetRelHW float64
+	// MaxCycles caps total cycles in targeting mode (0 = 4×Cycles).
+	MaxCycles int
+	// Seed drives set formation and the bootstrap.
+	Seed uint64
+}
+
+// NewRankedSet returns the standard configuration: sets of four,
+// twelve cycles (48 measurements), 95% confidence.
+func NewRankedSet(seed uint64) RankedSet {
+	return RankedSet{SetSize: 4, Cycles: 12, WarmIntervals: 2, Confidence: 0.95, Bootstrap: 200, Seed: seed}
+}
+
+// WithTarget returns a copy in error-targeting mode: add cycles until
+// the CPI interval is within ±relHW, capped at maxCycles.
+func (p RankedSet) WithTarget(relHW float64, maxCycles int) RankedSet {
+	p.TargetRelHW = relHW
+	p.MaxCycles = maxCycles
+	return p
+}
+
+// Name implements Policy ("RSS-m4-c12-s17"; targeting mode:
+// "RSS-m4-±1%@95-s17").
+func (p RankedSet) Name() string {
+	p = p.withDefaults()
+	if p.TargetRelHW > 0 {
+		return fmt.Sprintf("RSS%s-m%d-±%.3g%%@%.0f-s%d",
+			metricTag(p.Metrics), p.SetSize, p.TargetRelHW*100, p.Confidence*100, p.Seed)
+	}
+	return fmt.Sprintf("RSS%s-m%d-c%d-s%d", metricTag(p.Metrics), p.SetSize, p.Cycles, p.Seed)
+}
+
+func (p RankedSet) withDefaults() RankedSet {
+	if p.SetSize <= 0 {
+		p.SetSize = 4
+	}
+	if p.Cycles <= 0 {
+		p.Cycles = 12
+	}
+	if p.WarmIntervals <= 0 {
+		p.WarmIntervals = 2
+	}
+	if p.Confidence <= 0 || p.Confidence >= 1 {
+		p.Confidence = 0.95
+	}
+	if p.Bootstrap <= 0 {
+		p.Bootstrap = 200
+	}
+	if p.MaxCycles <= 0 {
+		p.MaxCycles = 4 * p.Cycles
+	}
+	return p
+}
+
+// Run implements Policy.
+func (p RankedSet) Run(s *core.Session) (Result, error) {
+	p = p.withDefaults()
+	name := p.Name()
+	res := Result{Policy: name, Bench: s.Spec().Name}
+	metrics := p.Metrics
+	if metrics == nil {
+		metrics = defaultProxyMetrics()
+	}
+
+	po := newPolicyObs(s, name)
+	reg := s.Obs()
+	hwHist := reg.Histogram("sampling_ci_rel_halfwidth_pct",
+		obs.ExpBuckets(0.125, 2, 12), "policy", name)
+	roundsC := reg.Counter("sampling_refine_rounds_total", "policy", name)
+	metC := reg.Counter("sampling_error_target_total", "policy", name, "outcome", "met")
+	missC := reg.Counter("sampling_error_target_total", "policy", name, "outcome", "budget")
+
+	// Phase 1: proxy profile (the ranking variable).
+	proxy := proxyProfile(s, metrics)
+	n := len(proxy)
+	if n == 0 {
+		return res, errPolicy(name, "budget %d shorter than one interval (%d)", s.Total(), s.IntervalLen())
+	}
+	res.Instructions = s.Executed()
+
+	m := p.SetSize
+	if m > n {
+		m = n
+	}
+
+	// The candidate pool: a seeded permutation of the frame, refreshed
+	// (skipping already-selected intervals) whenever it runs dry.
+	rng := stats.NewRNG(p.Seed)
+	pool := rng.Perm(n)
+	poolPos := 0
+	selected := make(map[int]bool, p.Cycles*m)
+	nextCandidate := func() (int, bool) {
+		for {
+			for poolPos < len(pool) {
+				idx := pool[poolPos]
+				poolPos++
+				if !selected[idx] {
+					return idx, true
+				}
+			}
+			if len(selected) >= n {
+				return 0, false
+			}
+			pool = rng.Perm(n)
+			poolPos = 0
+		}
+	}
+
+	// selectCycles forms cycles balanced over ranks: for rank r, draw m
+	// candidates, rank them by (proxy, index), and keep the r-th.
+	selectCycles := func(cycles int) (indices []int, byCycle [][]int) {
+		for c := 0; c < cycles; c++ {
+			var cycle []int
+			for r := 0; r < m; r++ {
+				set := make([]int, 0, m)
+				for len(set) < m {
+					idx, ok := nextCandidate()
+					if !ok {
+						break
+					}
+					set = append(set, idx)
+				}
+				if len(set) == 0 {
+					break
+				}
+				sort.Slice(set, func(a, b int) bool {
+					if proxy[set[a]] != proxy[set[b]] {
+						return proxy[set[a]] < proxy[set[b]]
+					}
+					return set[a] < set[b]
+				})
+				pick := r
+				if pick >= len(set) {
+					pick = len(set) - 1
+				}
+				chosen := set[pick]
+				selected[chosen] = true
+				cycle = append(cycle, chosen)
+				// Unchosen candidates return to circulation via the
+				// refreshed pool (selected-set skipping keeps draws
+				// without replacement among measured intervals only).
+			}
+			if len(cycle) == 0 {
+				break
+			}
+			indices = append(indices, cycle...)
+			byCycle = append(byCycle, cycle)
+		}
+		return indices, byCycle
+	}
+
+	cpiOf := make(map[int]float64, p.Cycles*m)
+	measureCycles := func(cycles int) ([][]int, int) {
+		indices, byCycle := selectCycles(cycles)
+		if len(indices) == 0 {
+			return nil, 0
+		}
+		sort.Ints(indices)
+		s.Reset()
+		got := measureIntervals(s, indices, p.WarmIntervals, po, func(idx int, cpi float64) {
+			cpiOf[idx] = cpi
+		})
+		return byCycle, got
+	}
+
+	var cycleMeans []float64
+	var allCPI []float64
+	record := func(byCycle [][]int) {
+		for _, cycle := range byCycle {
+			var st stats.Stream
+			for _, idx := range cycle {
+				if cpi, ok := cpiOf[idx]; ok {
+					st.Add(cpi)
+					allCPI = append(allCPI, cpi)
+				}
+			}
+			if st.N() > 0 {
+				cycleMeans = append(cycleMeans, st.Mean())
+			}
+		}
+	}
+
+	estimate := func() stats.Interval {
+		iv := stats.BootstrapMeanInterval(cycleMeans, p.Bootstrap, p.Seed+0x9e3779b9, p.Confidence)
+		// The point estimate is the plain mean of all measurements (the
+		// balanced design makes it unbiased); the bootstrap supplies
+		// the band around it.
+		sm := stats.Summarize(allCPI)
+		shift := sm.Mean - iv.Point
+		iv.Point = sm.Mean
+		iv.Lo += shift
+		iv.Hi += shift
+		return iv
+	}
+
+	byCycle, got := measureCycles(p.Cycles)
+	record(byCycle)
+	res.Samples = got
+	iv := estimate()
+
+	if p.TargetRelHW > 0 {
+		for len(cycleMeans) < p.MaxCycles {
+			if iv.Valid() && iv.RelHalfWidth() <= p.TargetRelHW {
+				break
+			}
+			add := len(cycleMeans)
+			if add < 1 {
+				add = 1
+			}
+			if iv.Valid() {
+				r := iv.RelHalfWidth() / p.TargetRelHW
+				need := int(math.Ceil(float64(len(cycleMeans)) * (r*r - 1)))
+				if need < 1 {
+					need = 1
+				}
+				add = need
+			}
+			if left := p.MaxCycles - len(cycleMeans); add > left {
+				add = left
+			}
+			byCycle, got := measureCycles(add)
+			if got == 0 {
+				break
+			}
+			record(byCycle)
+			res.Samples += got
+			roundsC.Inc()
+			iv = estimate()
+		}
+		res.TargetMet = iv.Valid() && iv.RelHalfWidth() <= p.TargetRelHW
+		if res.TargetMet {
+			metC.Inc()
+		} else {
+			missC.Inc()
+		}
+	}
+
+	if iv.Valid() {
+		res.CPIInterval = &iv
+		if iv.Point > 0 {
+			res.EstIPC = 1 / iv.Point
+		}
+		res.CIHalfWidthPct = iv.RelHalfWidth() * 100
+		hwHist.Observe(res.CIHalfWidthPct)
+	} else if iv.Point > 0 {
+		res.EstIPC = 1 / iv.Point
+	}
+	res.Cost = s.Meter().Report(s.Scale())
+	return res, nil
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hostcost"
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // Policy is one sampling strategy.
@@ -58,6 +59,18 @@ type Result struct {
 	// 99.7% confidence interval on the CPI estimate, for policies with
 	// a statistical sampling design (SMARTS); zero otherwise.
 	CIHalfWidthPct float64
+
+	// CPIInterval is the CPI point estimate with its confidence
+	// interval, reported by the statistical policies (Stratified,
+	// RankedSet); nil for the others. A pointer with omitempty so
+	// journals and artifacts from older policies are byte-identical to
+	// those written before the field existed.
+	CPIInterval *stats.Interval `json:",omitempty"`
+
+	// TargetMet reports whether an error-targeting run reached its
+	// requested interval width within the sample budget (always false
+	// when no target was set).
+	TargetMet bool `json:",omitempty"`
 
 	// Detections records the interval indices at which Dynamic
 	// Sampling detected a phase change (empty for other policies).

@@ -1,0 +1,349 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Stratified implements two-phase stratified sampling (Ekman &
+// Stenström): a cheap full-speed first pass records a per-interval
+// phase proxy from the VM's internal statistics, the frame is
+// stratified by that proxy, and a second pass takes detailed-timing
+// measurements allocated across strata by Neyman's rule (proportional
+// to within-stratum spread). The estimator layer turns the per-stratum
+// CPI samples into a point estimate with a confidence interval
+// (stratified variance with finite-population correction).
+//
+// With TargetRelHW set the policy runs in error-targeting mode: after
+// the initial design it keeps adding measurement rounds — allocated
+// where the measured CPI variance is largest — until the interval is
+// no wider than requested or the sample budget is exhausted. Every
+// pass replays the guest from the start (Session.Reset preserves the
+// host-cost meter), so multi-pass refinement pays its real cost.
+type Stratified struct {
+	// Metrics are the VM statistics summed into the phase proxy
+	// (nil = all of CPU, EXC, I/O).
+	Metrics []vm.Metric
+	// Strata is the number of strata K the frame is cut into.
+	Strata int
+	// Samples is the initial number of timed measurements.
+	Samples int
+	// MinPerStratum floors the allocation so every stratum can
+	// estimate its own variance.
+	MinPerStratum int
+	// WarmIntervals is the detailed warm-up before each measurement,
+	// in base intervals.
+	WarmIntervals int
+	// Confidence is the level of the reported interval.
+	Confidence float64
+	// TargetRelHW, when positive, requests an interval no wider than
+	// ±TargetRelHW (fraction of the CPI estimate) at Confidence.
+	TargetRelHW float64
+	// Budget caps total measurements in targeting mode
+	// (0 = 4×Samples).
+	Budget int
+	// MaxRounds caps refinement rounds in targeting mode.
+	MaxRounds int
+	// Seed drives all random selection; same seed, same result.
+	Seed uint64
+}
+
+// NewStratified returns the standard configuration: six strata, 48
+// samples, two warm-up intervals, 95% confidence. (Six strata beat
+// four empirically on the repo's workloads: finer phase strata capture
+// more of the CPI variance in the between-strata component, narrowing
+// the interval and improving its coverage; check.StatisticalValidity
+// pins the result.)
+func NewStratified(seed uint64) Stratified {
+	return Stratified{Strata: 6, Samples: 48, MinPerStratum: 3, WarmIntervals: 2, Confidence: 0.95, Seed: seed}
+}
+
+// WithTarget returns a copy running in error-targeting mode: sample
+// until the CPI interval is within ±relHW at the configured
+// confidence, or budget measurements have been spent.
+func (p Stratified) WithTarget(relHW float64, budget int) Stratified {
+	p.TargetRelHW = relHW
+	p.Budget = budget
+	return p
+}
+
+// metricTag renders a non-default proxy-metric set for Name.
+func metricTag(metrics []vm.Metric) string {
+	if metrics == nil {
+		return ""
+	}
+	tag := "["
+	for i, m := range metrics {
+		if i > 0 {
+			tag += "+"
+		}
+		tag += m.String()
+	}
+	return tag + "]"
+}
+
+// Name implements Policy ("Strat-K4-n48-s17"; targeting mode names the
+// contract instead of the fixed design: "Strat-K4-±1%@95-s17").
+func (p Stratified) Name() string {
+	p = p.withDefaults()
+	if p.TargetRelHW > 0 {
+		return fmt.Sprintf("Strat%s-K%d-±%.3g%%@%.0f-s%d",
+			metricTag(p.Metrics), p.Strata, p.TargetRelHW*100, p.Confidence*100, p.Seed)
+	}
+	return fmt.Sprintf("Strat%s-K%d-n%d-s%d", metricTag(p.Metrics), p.Strata, p.Samples, p.Seed)
+}
+
+func (p Stratified) withDefaults() Stratified {
+	if p.Strata <= 0 {
+		p.Strata = 6
+	}
+	if p.Samples <= 0 {
+		p.Samples = 48
+	}
+	if p.MinPerStratum <= 0 {
+		p.MinPerStratum = 3
+	}
+	if p.WarmIntervals <= 0 {
+		p.WarmIntervals = 2
+	}
+	if p.Confidence <= 0 || p.Confidence >= 1 {
+		p.Confidence = 0.95
+	}
+	if p.Budget <= 0 {
+		p.Budget = 4 * p.Samples
+	}
+	if p.MaxRounds <= 0 {
+		p.MaxRounds = 6
+	}
+	return p
+}
+
+// stratum is the builder state for one stratum during a run.
+type stratum struct {
+	members []int // original interval indices, proxy-sorted frame cut
+	order   []int // seeded selection order over members
+	next    int   // how many of order have been selected so far
+	proxySD float64
+	cpi     stats.Stream
+}
+
+// Run implements Policy.
+func (p Stratified) Run(s *core.Session) (Result, error) {
+	p = p.withDefaults()
+	name := p.Name()
+	res := Result{Policy: name, Bench: s.Spec().Name}
+	metrics := p.Metrics
+	if metrics == nil {
+		metrics = defaultProxyMetrics()
+	}
+
+	po := newPolicyObs(s, name)
+	reg := s.Obs()
+	hwHist := reg.Histogram("sampling_ci_rel_halfwidth_pct",
+		obs.ExpBuckets(0.125, 2, 12), "policy", name)
+	roundsC := reg.Counter("sampling_refine_rounds_total", "policy", name)
+	metC := reg.Counter("sampling_error_target_total", "policy", name, "outcome", "met")
+	missC := reg.Counter("sampling_error_target_total", "policy", name, "outcome", "budget")
+
+	// Phase 1: cheap full-speed proxy profile over the whole budget.
+	proxy := proxyProfile(s, metrics)
+	n := len(proxy)
+	if n == 0 {
+		return res, errPolicy(name, "budget %d shorter than one interval (%d)", s.Total(), s.IntervalLen())
+	}
+	res.Instructions = s.Executed()
+
+	// Stratify: sort the frame by (proxy, index) and cut into K
+	// near-equal contiguous groups.
+	k := p.Strata
+	if k > n {
+		k = n
+	}
+	byProxy := make([]int, n)
+	for i := range byProxy {
+		byProxy[i] = i
+	}
+	sort.SliceStable(byProxy, func(a, b int) bool {
+		if proxy[byProxy[a]] != proxy[byProxy[b]] {
+			return proxy[byProxy[a]] < proxy[byProxy[b]]
+		}
+		return byProxy[a] < byProxy[b]
+	})
+	strata := make([]stratum, k)
+	rng := stats.NewRNG(p.Seed)
+	pos := 0
+	for h := 0; h < k; h++ {
+		size := n / k
+		if h < n%k {
+			size++
+		}
+		members := byProxy[pos : pos+size]
+		pos += size
+		var st stats.Stream
+		for _, idx := range members {
+			st.Add(proxy[idx])
+		}
+		perm := rng.Perm(size)
+		order := make([]int, size)
+		for i, j := range perm {
+			order[i] = members[j]
+		}
+		strata[h] = stratum{members: members, order: order, proxySD: st.StdDev()}
+	}
+	weights := make([]float64, k)
+	caps := make([]int, k)
+	for h := range strata {
+		weights[h] = float64(len(strata[h].members)) / float64(n)
+		caps[h] = len(strata[h].members)
+	}
+
+	// measureRound selects alloc[h] fresh indices per stratum and takes
+	// one replayed measurement pass over them.
+	stratumOf := make(map[int]int, p.Samples)
+	measureRound := func(alloc []int) int {
+		var indices []int
+		for h := range strata {
+			take := alloc[h]
+			if room := len(strata[h].order) - strata[h].next; take > room {
+				take = room
+			}
+			for i := 0; i < take; i++ {
+				idx := strata[h].order[strata[h].next]
+				strata[h].next++
+				stratumOf[idx] = h
+				indices = append(indices, idx)
+			}
+		}
+		if len(indices) == 0 {
+			return 0
+		}
+		sort.Ints(indices)
+		s.Reset()
+		return measureIntervals(s, indices, p.WarmIntervals, po, func(idx int, cpi float64) {
+			strata[stratumOf[idx]].cpi.Add(cpi)
+		})
+	}
+
+	estimate := func() stats.Interval {
+		sm := make([]stats.Stratum, k)
+		for h := range strata {
+			sm[h] = stats.Stratum{
+				Weight:  weights[h],
+				PopSize: uint64(len(strata[h].members)),
+				Sample:  strata[h].cpi.Summary(),
+			}
+		}
+		return stats.StratifiedMeanInterval(sm, p.Confidence)
+	}
+
+	// Initial design: Neyman allocation on the free phase-1 proxy
+	// spread, floored so each stratum can estimate its variance.
+	total := p.Samples
+	if total > n {
+		total = n
+	}
+	proxySDs := make([]float64, k)
+	for h := range strata {
+		proxySDs[h] = strata[h].proxySD
+	}
+	res.Samples = measureRound(stats.NeymanAllocation(total, p.MinPerStratum, weights, proxySDs, caps))
+	iv := estimate()
+
+	// Error-targeting refinement: add rounds where the measured CPI
+	// variance is largest until the contract is met or budget runs out.
+	if p.TargetRelHW > 0 {
+		for round := 0; round < p.MaxRounds; round++ {
+			if iv.Valid() && iv.RelHalfWidth() <= p.TargetRelHW {
+				break
+			}
+			left := p.Budget - res.Samples
+			if left <= 0 {
+				break
+			}
+			need := k
+			if iv.Valid() {
+				r := iv.RelHalfWidth() / p.TargetRelHW
+				need = int(math.Ceil(float64(res.Samples) * (r*r - 1)))
+				if need < k {
+					need = k
+				}
+			}
+			if need > left {
+				need = left
+			}
+			cpiSDs := make([]float64, k)
+			remaining := make([]int, k)
+			anyRoom := false
+			for h := range strata {
+				cpiSDs[h] = strata[h].cpi.StdDev()
+				if cpiSDs[h] == 0 && strata[h].cpi.N() < 2 {
+					cpiSDs[h] = strata[h].proxySD
+				}
+				remaining[h] = len(strata[h].order) - strata[h].next
+				if remaining[h] > 0 {
+					anyRoom = true
+				}
+			}
+			if !anyRoom {
+				break
+			}
+			got := measureRound(allocRemaining(need, weights, cpiSDs, remaining))
+			if got == 0 {
+				break
+			}
+			res.Samples += got
+			roundsC.Inc()
+			iv = estimate()
+		}
+		res.TargetMet = iv.Valid() && iv.RelHalfWidth() <= p.TargetRelHW
+		if res.TargetMet {
+			metC.Inc()
+		} else {
+			missC.Inc()
+		}
+	}
+
+	if iv.Valid() {
+		res.CPIInterval = &iv
+		if iv.Point > 0 {
+			res.EstIPC = 1 / iv.Point
+		}
+		res.CIHalfWidthPct = iv.RelHalfWidth() * 100
+		hwHist.Observe(res.CIHalfWidthPct)
+	} else if pt := iv.Point; pt > 0 {
+		res.EstIPC = 1 / pt
+	}
+	res.Cost = s.Meter().Report(s.Scale())
+	return res, nil
+}
+
+// allocRemaining is NeymanAllocation with caps given as remaining room
+// (a cap of zero means the stratum is exhausted, not uncapped).
+func allocRemaining(total int, weights, sds []float64, remaining []int) []int {
+	k := len(weights)
+	w := make([]float64, 0, k)
+	sd := make([]float64, 0, k)
+	caps := make([]int, 0, k)
+	live := make([]int, 0, k)
+	for h := 0; h < k; h++ {
+		if remaining[h] <= 0 {
+			continue
+		}
+		live = append(live, h)
+		w = append(w, weights[h])
+		sd = append(sd, sds[h])
+		caps = append(caps, remaining[h])
+	}
+	sub := stats.NeymanAllocation(total, 0, w, sd, caps)
+	out := make([]int, k)
+	for i, h := range live {
+		out[h] = sub[i]
+	}
+	return out
+}

@@ -2,6 +2,8 @@ package simpoint
 
 import (
 	"math"
+
+	"repro/internal/stats"
 )
 
 // KMeansResult is the outcome of one clustering run.
@@ -13,19 +15,6 @@ type KMeansResult struct {
 	WCSS      float64 // within-cluster sum of squared distances
 	BIC       float64
 }
-
-// kmRNG is a small deterministic generator for seeding k-means++.
-type kmRNG struct{ s uint64 }
-
-func (r *kmRNG) next() uint64 {
-	r.s += 0x9e3779b97f4a7c15
-	z := r.s
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-func (r *kmRNG) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
 
 // KMeans clusters vectors into k groups with k-means++ seeding and at
 // most iters Lloyd iterations. It is deterministic in seed. Empty
@@ -43,11 +32,11 @@ func KMeans(vectors [][]float64, k, iters int, seed uint64) KMeansResult {
 		k = 1
 	}
 	dim := len(vectors[0])
-	rng := &kmRNG{s: seed}
+	rng := stats.NewRNG(seed)
 
 	// k-means++ seeding.
 	centroids := make([][]float64, 0, k)
-	first := int(rng.next() % uint64(n))
+	first := rng.Intn(n)
 	centroids = append(centroids, append([]float64(nil), vectors[first]...))
 	minDist := make([]float64, n)
 	for i, v := range vectors {
@@ -60,9 +49,9 @@ func KMeans(vectors [][]float64, k, iters int, seed uint64) KMeansResult {
 		}
 		var next int
 		if sum <= 0 {
-			next = int(rng.next() % uint64(n))
+			next = rng.Intn(n)
 		} else {
-			target := rng.float() * sum
+			target := rng.Float() * sum
 			for i, d := range minDist {
 				target -= d
 				if target <= 0 {

@@ -7,28 +7,29 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sampling"
+	"repro/internal/stats"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
 // blobs generates n points around k well-separated centres.
 func blobs(n, k, dim int, seed uint64) ([][]float64, []int) {
-	r := kmRNG{s: seed}
+	r := stats.NewRNG(seed)
 	centres := make([][]float64, k)
 	for c := range centres {
 		centres[c] = make([]float64, dim)
 		for d := range centres[c] {
-			centres[c][d] = float64(c) + 0.35*r.float()
+			centres[c][d] = float64(c) + 0.35*r.Float()
 		}
 	}
 	vecs := make([][]float64, n)
 	truth := make([]int, n)
 	for i := range vecs {
-		c := int(r.next() % uint64(k))
+		c := r.Intn(k)
 		truth[i] = c
 		v := make([]float64, dim)
 		for d := range v {
-			v[d] = centres[c][d] + 0.01*(r.float()-0.5)
+			v[d] = centres[c][d] + 0.01*(r.Float()-0.5)
 		}
 		vecs[i] = v
 	}

@@ -1,0 +1,40 @@
+package stats
+
+// RNG is a small deterministic pseudo-random generator (splitmix64).
+// It is the one generator every seeded statistical component shares —
+// k-means++ seeding, stratum sample selection, ranked-set subsampling,
+// and the bootstrap all draw from it, so "same seed, same result" holds
+// bit-for-bit across platforms.
+type RNG struct{ s uint64 }
+
+// NewRNG returns a generator seeded with s.
+func NewRNG(s uint64) *RNG { return &RNG{s: s} }
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float returns a float64 uniform in [0, 1).
+func (r *RNG) Float() float64 { return float64(r.Next()>>11) / float64(1<<53) }
+
+// Intn returns a value uniform in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int { return int(r.Next() % uint64(n)) }
+
+// Perm returns a deterministic pseudo-random permutation of 0..n-1
+// (Fisher–Yates driven by Next).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
