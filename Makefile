@@ -1,7 +1,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke diffcheck golden-update bench bench-vm bench-smoke ci
+.PHONY: all build vet test race fuzz-smoke diffcheck golden-update bench bench-vm bench-smoke bench-guard ci
 
 all: build
 
@@ -67,5 +67,15 @@ bench-smoke:
 	$(GO) run ./cmd/vmbench -time 200ms -runs 1 -o -
 	REPRO_SCALE=500 $(GO) test -run '^$$' \
 		-bench 'BenchmarkRunner(Cold|Warm)Cache|BenchmarkSnapshotEncode|BenchmarkVM(Fast|Event)Mode|BenchmarkRunAllEndToEnd' -benchtime 1x .
+
+# Throughput regression guard: re-measure the interpreter and fail if
+# any mode lands more than 15% below the latest recorded BENCH report.
+# vmbench disarms the guard itself on starved hosts (GOMAXPROCS < 2),
+# the same gate the sweep smoke test uses, because one-core shared
+# runners produce throughput noise far beyond real regression signal.
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_pr*.json)))
+bench-guard:
+	$(GO) run ./cmd/vmbench -time 500ms -runs 2 -o - \
+		-baseline-file $(BENCH_BASELINE) -max-regress 15 >/dev/null
 
 ci: vet build race fuzz-smoke diffcheck

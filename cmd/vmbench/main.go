@@ -2,18 +2,27 @@
 // guest instructions per host second) for the three execution modes the
 // paper prices — fast (no events), event-generating (batched sink), and
 // detailed timing — plus an end-to-end evaluation sweep through
-// experiments.Runner, and emits a JSON report (BENCH_pr3.json by
-// default) comparing against the recorded pre-batching baseline.
+// experiments.Runner, and emits the BENCH_*.json schema (date, scales,
+// baseline, current, speedup) directly, so bench files are never
+// hand-assembled.
 //
-// The baseline numbers embedded below were measured on the same
-// benchmark bodies immediately before the batched event pipeline and
-// hot-loop optimizations landed; re-run with -baseline to overwrite
-// them with the current tree's numbers (e.g. when moving to new
-// hardware).
+// The baseline defaults to numbers recorded before the batched event
+// pipeline landed; pass -baseline-file to compare against the "current"
+// section of a previous report (the committed BENCH_prN.json of the
+// last PR, measured on the same host), or -baseline to record this
+// run's numbers as their own baseline.
+//
+// With -max-regress P the tool becomes a CI regression guard: after
+// measuring, it fails (exit 1) if any mode's throughput fell more than
+// P percent below the baseline. Like the sweep smoke test, the guard
+// only arms on hosts with at least 2 CPUs — a starved shared runner
+// produces throughput noise far above any real regression signal — and
+// reports itself skipped otherwise.
 //
 // Usage:
 //
-//	vmbench [-time 3s] [-runs 3] [-o BENCH_pr3.json]
+//	vmbench [-time 3s] [-runs 3] [-o BENCH.json] [-json]
+//	        [-baseline-file BENCH_pr3.json] [-max-regress 15]
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -32,9 +42,10 @@ import (
 	"repro/internal/workload"
 )
 
-// recordedBaseline is the pre-PR throughput on the reference host
-// (single-core x86-64, Go 1.24): per-event sink dispatch, per-
-// retirement Class() calls, no batch buffer.
+// recordedBaseline is the pre-batching throughput on the original
+// reference host (single-core x86-64, Go 1.24): per-event sink
+// dispatch, per-retirement Class() calls, no batch buffer. Used only
+// when no -baseline-file is given.
 var recordedBaseline = modes{
 	Fast:   158.9,
 	Event:  50.18,
@@ -50,14 +61,18 @@ type modes struct {
 }
 
 type report struct {
-	Date        string  `json:"date"`
-	VMScale     int     `json:"vm_scale"`
-	RunAllScale int     `json:"runall_scale"`
-	Baseline    modes   `json:"baseline_pre_batching"`
-	Current     modes   `json:"current"`
-	Speedup     modes   `json:"speedup"`
-	EventObsOff float64 `json:"event_obs_off_minstr_s"`
-	EventObsOn  float64 `json:"event_obs_on_minstr_s"`
+	Date        string `json:"date"`
+	GoMaxProcs  int    `json:"go_maxprocs"`
+	VMScale     int    `json:"vm_scale"`
+	RunAllScale int    `json:"runall_scale"`
+	// BaselineSource says where Baseline came from: "recorded" (the
+	// constants above), "self" (-baseline), or the -baseline-file path.
+	BaselineSource string  `json:"baseline_source"`
+	Baseline       modes   `json:"baseline"`
+	Current        modes   `json:"current"`
+	Speedup        modes   `json:"speedup"`
+	EventObsOff    float64 `json:"event_obs_off_minstr_s"`
+	EventObsOn     float64 `json:"event_obs_on_minstr_s"`
 	// ObsOverheadPct is the event-mode throughput cost of attaching the
 	// metrics registry and transition trace; the obs layer's budget is
 	// under 2%.
@@ -66,31 +81,55 @@ type report struct {
 	Runs           int     `json:"runs_best_of"`
 }
 
+// loadBaseline reads the "current" section of a previous report. Only
+// that section is decoded, so files written under older schema
+// revisions load fine.
+func loadBaseline(path string) modes {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var prev struct {
+		Current modes `json:"current"`
+	}
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if prev.Current == (modes{}) {
+		fatal(fmt.Errorf("%s: no \"current\" throughput section", path))
+	}
+	return prev.Current
+}
+
 // measureVM runs gzip in 100k-instruction slices for at least d and
-// returns Minstr/s. makeSink supplies a fresh sink per machine (nil
-// for fast mode).
+// returns Minstr/s. makeSink supplies a fresh sink per guest run (nil
+// for fast mode). The machine is built and loaded once and rewound to
+// its boot snapshot whenever the guest completes, so the timed loop
+// measures the interpreter rather than allocator and loader churn.
 func measureVM(d time.Duration, makeSink func() vm.Sink) float64 {
 	spec, err := workload.ByName("gzip")
 	if err != nil {
 		fatal(err)
 	}
 	img, _ := workload.BuildScaled(spec, 20_000)
-	newM := func() (*vm.Machine, vm.Sink) {
-		m := vm.New(vm.Config{})
-		m.Load(img)
-		var s vm.Sink
-		if makeSink != nil {
-			s = makeSink()
-		}
-		return m, s
+	m := vm.New(vm.Config{})
+	m.Load(img)
+	boot := m.Snapshot()
+	var sink vm.Sink
+	if makeSink != nil {
+		sink = makeSink()
 	}
-	m, sink := newM()
 	var executed uint64
 	start := time.Now()
 	for time.Since(start) < d {
 		n := m.Run(100_000, sink)
 		if n == 0 {
-			m, sink = newM()
+			if err := m.Restore(boot); err != nil {
+				fatal(err)
+			}
+			if makeSink != nil {
+				sink = makeSink()
+			}
 			n = m.Run(100_000, sink)
 		}
 		executed += n
@@ -177,18 +216,27 @@ func fatal(err error) {
 func main() {
 	per := flag.Duration("time", 3*time.Second, "minimum duration per measurement")
 	runs := flag.Int("runs", 3, "measurements per mode (best is reported)")
-	out := flag.String("o", "BENCH_pr3.json", "output JSON path (\"-\" = stdout)")
+	out := flag.String("o", "BENCH.json", "output JSON path (\"-\" = stdout)")
+	asJSON := flag.Bool("json", false, "also print the report JSON to stdout")
 	asBaseline := flag.Bool("baseline", false, "record current numbers as the baseline too")
+	baselineFile := flag.String("baseline-file", "", "previous BENCH_*.json whose \"current\" numbers become the baseline")
+	maxRegress := flag.Float64("max-regress", 0, "fail if any mode regresses more than this percent vs the baseline (0 = off)")
 	runallScale := flag.Int("runall-scale", 2000, "workload scale for the end-to-end sweep")
 	flag.Parse()
 
 	rep := report{
-		Date:        time.Now().UTC().Format(time.RFC3339),
-		VMScale:     20_000,
-		RunAllScale: *runallScale,
-		Baseline:    recordedBaseline,
-		MeasureSecs: per.Seconds(),
-		Runs:        *runs,
+		Date:           time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		VMScale:        20_000,
+		RunAllScale:    *runallScale,
+		BaselineSource: "recorded",
+		Baseline:       recordedBaseline,
+		MeasureSecs:    per.Seconds(),
+		Runs:           *runs,
+	}
+	if *baselineFile != "" {
+		rep.BaselineSource = *baselineFile
+		rep.Baseline = loadBaseline(*baselineFile)
 	}
 
 	fmt.Fprintln(os.Stderr, "vmbench: fast mode...")
@@ -209,6 +257,7 @@ func main() {
 	rep.Current.RunAll = bestOf(*runs, func() float64 { return measureRunAll(*per, *runallScale) })
 
 	if *asBaseline {
+		rep.BaselineSource = "self"
 		rep.Baseline = rep.Current
 	}
 	rep.Speedup = modes{
@@ -225,12 +274,42 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			os.Stdout.Write(enc)
+		}
+		fmt.Printf("vmbench: fast %.1f  event %.1f  detail %.1f  runall %.1f Minstr/s (event speedup %.2fx, obs overhead %.2f%%) -> %s\n",
+			rep.Current.Fast, rep.Current.Event, rep.Current.Detail, rep.Current.RunAll,
+			rep.Speedup.Event, rep.ObsOverheadPct, *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fatal(err)
+
+	if *maxRegress > 0 {
+		if rep.GoMaxProcs < 2 {
+			fmt.Fprintf(os.Stderr, "vmbench: regression guard skipped: GOMAXPROCS=%d (needs >= 2 for stable throughput)\n", rep.GoMaxProcs)
+			return
+		}
+		floor := 1 - *maxRegress/100
+		failed := false
+		for _, m := range []struct {
+			name string
+			s    float64
+		}{
+			{"fast", rep.Speedup.Fast},
+			{"event", rep.Speedup.Event},
+			{"detail", rep.Speedup.Detail},
+			{"runall", rep.Speedup.RunAll},
+		} {
+			if m.s < floor {
+				fmt.Fprintf(os.Stderr, "vmbench: REGRESSION: %s mode at %.2fx of baseline (floor %.2fx)\n", m.name, m.s, floor)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "vmbench: regression guard ok (all modes >= %.2fx of %s)\n", floor, rep.BaselineSource)
 	}
-	fmt.Printf("vmbench: fast %.1f  event %.1f  detail %.1f  runall %.1f Minstr/s (event speedup %.2fx, obs overhead %.2f%%) -> %s\n",
-		rep.Current.Fast, rep.Current.Event, rep.Current.Detail, rep.Current.RunAll,
-		rep.Speedup.Event, rep.ObsOverheadPct, *out)
 }

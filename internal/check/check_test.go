@@ -254,3 +254,35 @@ func TestPolicyBatchInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCheckProgramStressConfig runs the full differential suite under a
+// deliberately hostile machine configuration: a translation cache so
+// small it flushes constantly (chains and superblock traces die almost
+// as soon as they form), a tiny TLB, per-event batch delivery, and a
+// chunk of 1 so every sync point lands mid-everything. Any acceleration
+// state that leaks across a flush, trace teardown, or one-instruction
+// Run boundary shows up as a lockstep or replay divergence here.
+func TestCheckProgramStressConfig(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opts := DefaultOptions()
+	opts.VM.TCMaxBlocks = 3
+	opts.VM.TLBEntries = 4
+	opts.VM.EventBatch = 1
+	opts.Chunk = 1
+	opts.MaxInstr = 80_000
+	for seed := uint64(1); seed <= 3; seed++ {
+		rep, div, err := CheckProgram(seed, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if div != nil {
+			t.Fatalf("seed %d:\n%v", seed, div)
+		}
+		if len(rep.Checks) == 0 {
+			t.Fatalf("seed %d: no checks ran", seed)
+		}
+	}
+}

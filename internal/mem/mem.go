@@ -62,27 +62,52 @@ func VPN(addr uint64) uint64 { return addr >> PageShift }
 
 // Read64 loads the 64-bit word at addr (forced to 8-byte alignment).
 // faulted reports whether the access materialised a fresh page.
+//
+// The common case — a mapped page — is kept small enough for the
+// compiler to inline into the interpreter's load path; materialisation
+// and the out-of-range panic live in read64Slow.
 func (m *Memory) Read64(addr uint64) (v uint64, faulted bool) {
+	vpn := addr >> PageShift
+	if vpn < uint64(len(m.pages)) {
+		if p := m.pages[vpn]; p != nil {
+			return p[addr>>3&(WordsPerPage-1)], false
+		}
+	}
+	return m.read64Slow(addr)
+}
+
+func (m *Memory) read64Slow(addr uint64) (uint64, bool) {
 	vpn := addr >> PageShift
 	if vpn >= uint64(len(m.pages)) {
 		panic(fmt.Sprintf("mem: guest access out of range: %#x", addr))
 	}
-	p := m.pages[vpn]
-	if p == nil {
-		p = m.materialise(vpn)
-		faulted = true
-	}
-	return p[addr>>3&(WordsPerPage-1)], faulted
+	p := m.materialise(vpn)
+	return p[addr>>3&(WordsPerPage-1)], true
 }
 
 // Write64 stores a 64-bit word at addr (forced to 8-byte alignment).
 // faulted reports whether the access materialised a fresh page.
+//
+// Like Read64, the mapped-and-unsealed case is inlineable; page
+// materialisation and copy-on-write unsealing live in write64Slow.
 func (m *Memory) Write64(addr, v uint64) (faulted bool) {
+	vpn := addr >> PageShift
+	if vpn < uint64(len(m.pages)) {
+		if p := m.pages[vpn]; p != nil && !m.sealed[vpn] {
+			p[addr>>3&(WordsPerPage-1)] = v
+			return false
+		}
+	}
+	return m.write64Slow(addr, v)
+}
+
+func (m *Memory) write64Slow(addr, v uint64) bool {
 	vpn := addr >> PageShift
 	if vpn >= uint64(len(m.pages)) {
 		panic(fmt.Sprintf("mem: guest access out of range: %#x", addr))
 	}
 	p := m.pages[vpn]
+	faulted := false
 	if p == nil {
 		p = m.materialise(vpn)
 		faulted = true
@@ -119,6 +144,15 @@ func (m *Memory) Populate(addr, v uint64) {
 	}
 	m.pages[vpn][addr>>3&(WordsPerPage-1)] = v
 }
+
+// Raw exposes the page table and seal flags for the interpreter's
+// inlined load/store fast path. The returned slices alias the memory's
+// own tables (whose length is fixed for the memory's lifetime), so
+// page materialisation and copy-on-write unsealing through the normal
+// access paths stay visible to holders. Callers may only read mapped
+// words and write mapped, unsealed words through these tables; every
+// other access must go through Read64/Write64.
+func (m *Memory) Raw() (pages []*Page, sealed []bool) { return m.pages, m.sealed }
 
 // Mapped reports whether the page containing addr has been materialised.
 func (m *Memory) Mapped(addr uint64) bool {

@@ -171,3 +171,59 @@ func TestSpanRoundsUp(t *testing.T) {
 		t.Fatalf("span = %d, want %d", m.Span(), 2*PageBytes)
 	}
 }
+
+// TestRawAliasesPageTables pins the contract the interpreter's inlined
+// memory fast path depends on: Raw's slices alias the Memory's own
+// tables for its whole lifetime, so demand materialisation and
+// copy-on-write unsealing performed through the slow path are
+// immediately visible through slices taken earlier.
+func TestRawAliasesPageTables(t *testing.T) {
+	m := New(4 * PageBytes)
+	pages, sealed := m.Raw()
+	if len(pages) != 4 || len(sealed) != 4 {
+		t.Fatalf("Raw sizes %d/%d, want 4/4", len(pages), len(sealed))
+	}
+	if pages[1] != nil {
+		t.Fatal("unmaterialised page non-nil in Raw view")
+	}
+
+	// Materialisation through Write64 appears in the earlier slice.
+	if faulted := m.Write64(PageBytes+16, 0xfeed); !faulted {
+		t.Fatal("first touch must fault")
+	}
+	if pages[1] == nil {
+		t.Fatal("materialisation invisible through Raw view")
+	}
+	if pages[1][2] != 0xfeed {
+		t.Fatalf("direct page read = %#x, want 0xfeed", pages[1][2])
+	}
+
+	// A direct store through the view is what Read64 sees.
+	pages[1][3] = 0xbeef
+	if v, _ := m.Read64(PageBytes + 24); v != 0xbeef {
+		t.Fatalf("Read64 after raw store = %#x, want 0xbeef", v)
+	}
+
+	// Snapshot seals shared pages; the earlier sealed slice sees it,
+	// and the copy-on-write unseal swaps the page pointer in place.
+	s := m.Snapshot()
+	if !sealed[1] {
+		t.Fatal("seal invisible through Raw view")
+	}
+	shared := pages[1]
+	if faulted := m.Write64(PageBytes+16, 0xcafe); faulted {
+		t.Fatal("write to a mapped sealed page must not fault")
+	}
+	if sealed[1] {
+		t.Fatal("unseal invisible through Raw view")
+	}
+	if pages[1] == shared {
+		t.Fatal("copy-on-write did not replace the page pointer")
+	}
+	if shared[2] != 0xfeed {
+		t.Fatal("snapshot's sealed page was mutated")
+	}
+	if err := m.Restore(s); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -163,3 +163,69 @@ func TestDynamicSampleErrors(t *testing.T) {
 		t.Fatal("zero interval must be rejected")
 	}
 }
+
+// TestGuestIsolationAcrossQuanta pins guest isolation under the
+// superblock-trace interpreter: two guests interleaved at a prime
+// quantum (so quantum boundaries land mid-block and mid-trace) must
+// each produce exactly the architectural state and statistics of the
+// same workload run alone in a single uninterrupted call. Trace heat,
+// chain memos, and TLB fast-path state all persist inside a guest
+// across its scheduling gaps — and must never bleed between guests.
+func TestGuestIsolationAcrossQuanta(t *testing.T) {
+	t.Parallel()
+	const scale = 60_000
+	const quantum = 4093 // prime
+	specA, budgetA := buildGuest(t, "gzip", scale)
+	specB, budgetB := buildGuest(t, "mcf", scale)
+	imgA, _ := workload.BuildScaled(*specA, scale)
+	imgB, _ := workload.BuildScaled(*specB, scale)
+
+	sys := New(Config{})
+	a := sys.AddGuest("gzip", imgA, budgetA)
+	b := sys.AddGuest("mcf", imgB, budgetB)
+	for !sys.Done() {
+		sys.RunFast(quantum)
+	}
+	if a.Machine.LiveTraces() == 0 || b.Machine.LiveTraces() == 0 {
+		t.Fatalf("traces did not survive quantum interleaving: gzip %d, mcf %d",
+			a.Machine.LiveTraces(), b.Machine.LiveTraces())
+	}
+
+	for _, g := range []struct {
+		name   string
+		img    *workload.Spec
+		budget uint64
+		got    *Guest
+	}{{"gzip", specA, budgetA, a}, {"mcf", specB, budgetB, b}} {
+		// Solo reference with the scheduler's own partitioning: translation
+		// and TLB statistics legitimately depend on where Run budgets
+		// expire (a mid-block exit re-translates at an interior pc), so
+		// isolation means "identical to running alone with the same
+		// quanta", not "identical to one uninterrupted call".
+		img, _ := workload.BuildScaled(*g.img, scale)
+		solo := vm.New(vm.Config{})
+		solo.Load(img)
+		var n uint64
+		for n < g.budget && !solo.Halted() {
+			q := uint64(quantum)
+			if rem := g.budget - n; rem < q {
+				q = rem
+			}
+			r := solo.Run(q, nil)
+			if r == 0 {
+				break
+			}
+			n += r
+		}
+		if solo.Stats() != g.got.Machine.Stats() {
+			t.Errorf("%s: interleaved stats diverged from solo run:\n got %+v\nwant %+v",
+				g.name, g.got.Machine.Stats(), solo.Stats())
+		}
+		for r := 0; r < 32; r++ {
+			if solo.Reg(r) != g.got.Machine.Reg(r) {
+				t.Errorf("%s: r%d interleaved %d vs solo %d",
+					g.name, r, g.got.Machine.Reg(r), solo.Reg(r))
+			}
+		}
+	}
+}

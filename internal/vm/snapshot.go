@@ -154,11 +154,14 @@ func (m *Machine) Restore(s *Snapshot) error {
 	m.stats = s.stats
 	m.tlb = append(m.tlb[:0], s.tlb...)
 	m.tlbMask = uint64(len(m.tlb) - 1)
-	// The last-vpn fast path must not claim a hit against the restored
-	// TLB contents on stale evidence; dropping it costs at most one
-	// masked probe and never changes statistics (it only ever skips
-	// probes that are guaranteed hits).
+	// The last-vpn and second-level fast paths must not claim hits
+	// against the restored TLB contents on stale evidence; dropping
+	// them costs at most one masked probe per page and never changes
+	// statistics (they only ever skip probes that are guaranteed hits).
 	m.tlbLast = 0
+	for i := range m.tlbL2 {
+		m.tlbL2[i] = 0
+	}
 	m.console = s.console.Clone()
 	m.disk = s.disk.Clone()
 	m.phaseLog = append(m.phaseLog[:0], s.phaseLog...)

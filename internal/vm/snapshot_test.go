@@ -322,3 +322,57 @@ func TestReadSnapshotRejectsCorruption(t *testing.T) {
 		t.Errorf("stale version: got %v, want ErrSnapshotVersion", err)
 	}
 }
+
+// TestRestoreMidBlockClearsFastPaths is the regression test for the
+// interpreter's host-side acceleration state — the one-entry and
+// second-level TLB memos (tlbLast, tlbL2), chain links, and superblock
+// traces — across a snapshot restore. The snapshot is taken mid-block
+// (prime chunk) with the memos hot; the restoring machine then runs
+// far past the snapshot so every memo describes later execution.
+// Restore must drop the stale evidence — a wrongly-kept TLB memo would
+// skip refills the donor performed, skewing the refill statistics —
+// and the resumed run must match a cold machine executing the same
+// partition sequence bit-for-bit, statistics included.
+func TestRestoreMidBlockClearsFastPaths(t *testing.T) {
+	const j = 41 // prime: snapshot and resume points land mid-block
+	cfg := Config{MemSpan: 64 << 20}
+
+	donor := loadInto(t, cfg, tlbThrash)
+	donor.Run(j, nil)
+	donor.Run(j, nil)
+	snap := donor.Snapshot()
+
+	// Cold reference: the same partition sequence from boot, no restore.
+	ref := loadInto(t, cfg, tlbThrash)
+	ref.Run(j, nil)
+	ref.Run(j, nil)
+	for !ref.Halted() {
+		if ref.Run(j, nil) == 0 {
+			break
+		}
+	}
+	want := ref.Stats()
+
+	// Pollute the donor's fast-path state far past the snapshot point,
+	// then restore (the in-place reconcile path) and resume with the
+	// reference's partitioning.
+	for i := 0; i < 20; i++ {
+		donor.Run(j, nil)
+	}
+	if err := donor.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for !donor.Halted() {
+		if donor.Run(j, nil) == 0 {
+			break
+		}
+	}
+	if got := donor.Stats(); got != want {
+		t.Fatalf("restored run diverged from cold run:\n got %+v\nwant %+v", got, want)
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if donor.Reg(r) != ref.Reg(r) {
+			t.Fatalf("r%d: restored %d vs cold %d", r, donor.Reg(r), ref.Reg(r))
+		}
+	}
+}

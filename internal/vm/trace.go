@@ -1,0 +1,101 @@
+package vm
+
+// Superblock traces: straight-line chains of hot decoded blocks.
+//
+// The interpreter profiles block entries (block.heat) and, when a
+// block crosses traceHotThreshold, chains its recorded dominant
+// successors (the 1-entry chain memos) into a trace — up to
+// traceMaxBlocks segments, stopping at the first unknown, dead, or
+// repeated successor. A chain that closes back on the head forms a
+// loop trace: execution re-enters the head segment without leaving the
+// trace, which is the common shape for hot guest loops.
+//
+// Execution of a trace is guarded per segment boundary: the actual
+// successor pc must equal the next segment's pc and that block must
+// still be live. A guard pass is observationally identical to the
+// baseline interpreter's behaviour at the same boundary (a chain hit,
+// or a stat-free lookup of the same live block — at most one live
+// block exists per pc, so the lookup must return the guarded block).
+// A guard miss falls back to the per-block chain path. Traces
+// therefore never translate, never touch the TLB, and never move a
+// statistic: they only decide which live block runs next.
+//
+// Invalidation: traces hold *block pointers, and every invalidation
+// path (store to a code page, TC flush, snapshot reconcile) marks
+// blocks dead rather than mutating them, so a stale trace fails its
+// guards — or the per-instruction dead check, for the segment
+// currently executing — and is torn down (killTrace), resetting the
+// head's heat so a fresh trace can form from the current chain
+// profile. Like chain memos, traces are host-side only: never
+// serialized, never restored, and free to differ between two machines
+// that are architecturally identical.
+type trace struct {
+	segs []*block
+	loop bool // the last segment's dominant successor is segs[0]
+	// misses counts consecutive guard failures (path divergences)
+	// since the last completed boundary; a trace that keeps missing is
+	// torn down so a fresher chain profile can replace it.
+	misses uint32
+}
+
+const (
+	// traceHotThreshold is the number of block entries (dispatch, chain
+	// or trace-exit re-entries) before trace formation is attempted.
+	traceHotThreshold = 16
+	// traceMaxBlocks caps trace length in blocks (the chain limit).
+	traceMaxBlocks = 16
+	// traceMissLimit is the number of guard misses after which a trace
+	// is abandoned as no longer describing the dominant path.
+	traceMissLimit = 64
+)
+
+// formTrace chains head's recorded dominant successors into a trace.
+// It returns nil — without allocating — when there is nothing to
+// chain, so failed formation attempts stay cheap on blocks whose
+// successors are unstable or unknown.
+func (m *Machine) formTrace(head *block) *trace {
+	first := head.chainBlk
+	if first == nil || first.dead {
+		return nil
+	}
+	segs := make([]*block, 1, traceMaxBlocks)
+	segs[0] = head
+	loop := first == head
+	b := head
+	for !loop && len(segs) < traceMaxBlocks {
+		nb := b.chainBlk
+		if nb == nil || nb.dead {
+			break
+		}
+		if nb == head {
+			loop = true
+			break
+		}
+		dup := false
+		for _, s := range segs {
+			if s == nb {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			break
+		}
+		segs = append(segs, nb)
+		b = nb
+	}
+	if len(segs) == 1 && !loop {
+		return nil
+	}
+	return &trace{segs: segs, loop: loop}
+}
+
+// killTrace detaches a trace from its head block and resets the head's
+// heat, so the head re-profiles and can form a fresh trace from the
+// then-current chain links.
+func killTrace(t *trace) {
+	if h := t.segs[0]; h.tr == t {
+		h.tr = nil
+		h.heat = 0
+	}
+}

@@ -1,0 +1,300 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// hotLoopIters is comfortably past traceHotThreshold so every test
+// loop here is guaranteed to attempt trace formation.
+const hotLoopIters = 8 * traceHotThreshold
+
+// liveTraces collects the traces currently attached to live blocks.
+func liveTraces(m *Machine) []*trace {
+	var out []*trace
+	for _, b := range m.tc {
+		if !b.dead && b.tr != nil {
+			out = append(out, b.tr)
+		}
+	}
+	return out
+}
+
+// TestTraceFormsOnHotLoop runs a multi-block loop long enough to cross
+// the hotness threshold and checks that a loop-shaped trace actually
+// forms — guarding against the optimization silently never engaging.
+func TestTraceFormsOnHotLoop(t *testing.T) {
+	b := asm.NewBuilder(0x1000)
+	b.Movi(1, hotLoopIters)
+	b.Label("loop")
+	b.I(isa.OpSlli, 3, 2, 1)
+	b.Br(isa.OpBeq, 0, 0, "mid") // always taken: splits the loop body
+	b.Label("mid")
+	b.I(isa.OpAddi, 2, 2, 3)
+	b.I(isa.OpAddi, 1, 1, -1)
+	b.Br(isa.OpBne, 1, 0, "loop")
+	b.Halt()
+	img := &asm.Image{Entry: 0x1000}
+	img.AddSegment(0x1000, b.Words())
+	m := New(Config{MemSpan: 64 << 20})
+	m.Load(img)
+	m.RunToCompletion(0, nil)
+
+	if m.Reg(2) != 3*hotLoopIters {
+		t.Fatalf("r2 = %d, want %d", m.Reg(2), 3*hotLoopIters)
+	}
+	trs := liveTraces(m)
+	if len(trs) == 0 {
+		t.Fatal("hot multi-block loop formed no trace")
+	}
+	foundLoop := false
+	for _, tr := range trs {
+		if tr.loop && len(tr.segs) >= 2 {
+			foundLoop = true
+		}
+	}
+	if !foundLoop {
+		t.Fatalf("no loop-shaped multi-segment trace among %d traces", len(trs))
+	}
+}
+
+// traceEdgeCase is one scenario for TestTraceEdgeCases: build
+// constructs the program, check inspects the finished machine.
+type traceEdgeCase struct {
+	name  string
+	cfg   Config
+	build func() *asm.Image
+	check func(t *testing.T, m *Machine)
+}
+
+// TestTraceEdgeCases drives the superblock machinery through its
+// hairy corners — self-modifying code killing a mid-trace block,
+// traces spanning a page boundary, and formation under EventBatch=1 —
+// and in each case requires architectural state identical to a
+// reference machine whose tiny translation cache flushes constantly
+// (so chains and traces never persist long enough to matter).
+func TestTraceEdgeCases(t *testing.T) {
+	cases := []traceEdgeCase{
+		{
+			// A hot loop calls a routine; after the trace through the
+			// routine is formed, the loop patches the routine's first
+			// instruction. The constituent block dies mid-trace and the
+			// trace must be torn down and re-formed around the new code.
+			name: "smc-kills-mid-trace-block",
+			build: func() *asm.Image {
+				rb := asm.NewBuilder(0x3000)
+				rb.I(isa.OpAddi, 3, 3, 1)
+				rb.Jalr(0, 30, 0)
+				routine := rb.Words()
+
+				pb := asm.NewBuilder(0x3000)
+				pb.I(isa.OpAddi, 3, 3, 100)
+				patch := pb.Words()
+
+				b := asm.NewBuilder(0x1000)
+				b.Movi(1, hotLoopIters)
+				b.Movi(28, 0x3000)
+				b.Movi(6, int64(hotLoopIters/2))
+				b.Label("loop")
+				b.Jalr(30, 28, 0)
+				// Halfway through, patch the routine once.
+				b.Br(isa.OpBne, 1, 6, "skip")
+				b.Movi(5, int64(patch[0]))
+				b.St(5, 28, 0)
+				b.Label("skip")
+				b.I(isa.OpAddi, 1, 1, -1)
+				b.Br(isa.OpBne, 1, 0, "loop")
+				b.Halt()
+				img := &asm.Image{Entry: 0x1000}
+				img.AddSegment(0x1000, b.Words())
+				img.AddSegment(0x3000, routine)
+				return img
+			},
+			check: func(t *testing.T, m *Machine) {
+				if m.Stats().TCInvalidations == 0 {
+					t.Error("patching hot code must invalidate translations")
+				}
+			},
+		},
+		{
+			// The loop body is longer than one page of code, so the
+			// blocks it chains into a trace live on two pages and the
+			// page-capped block falls through across the boundary.
+			name: "trace-spans-page-boundary",
+			build: func() *asm.Image {
+				// Place the loop head so the straight-line body crosses
+				// the boundary between the pages at 0x1000 and 0x2000.
+				b := asm.NewBuilder(0x2000 - 64*8)
+				b.Movi(1, hotLoopIters)
+				b.Label("loop")
+				for i := 0; i < 128; i++ {
+					b.I(isa.OpAddi, 2, 2, 1)
+				}
+				b.I(isa.OpAddi, 1, 1, -1)
+				b.Br(isa.OpBne, 1, 0, "loop")
+				b.Halt()
+				img := &asm.Image{Entry: 0x2000 - 64*8}
+				img.AddSegment(0x2000-64*8, b.Words())
+				return img
+			},
+			check: func(t *testing.T, m *Machine) {
+				if m.Reg(2) != 128*hotLoopIters {
+					t.Errorf("r2 = %d, want %d", m.Reg(2), 128*hotLoopIters)
+				}
+				pageOf := func(b *block) uint64 { return b.pc >> mem.PageShift }
+				for _, tr := range liveTraces(m) {
+					for _, s := range tr.segs[1:] {
+						if pageOf(s) != pageOf(tr.segs[0]) {
+							return // found a cross-page trace
+						}
+					}
+				}
+				t.Error("no trace spans the page boundary")
+			},
+		},
+		{
+			// EventBatch=1 flushes the batch after every retirement; the
+			// flush path must not disturb trace formation or execution.
+			name: "formation-under-eventbatch-1",
+			cfg:  Config{MemSpan: 64 << 20, EventBatch: 1},
+			build: func() *asm.Image {
+				b := asm.NewBuilder(0x1000)
+				b.Movi(1, hotLoopIters)
+				b.Label("loop")
+				b.I(isa.OpAddi, 2, 2, 7)
+				b.Br(isa.OpBeq, 0, 0, "mid")
+				b.Label("mid")
+				b.I(isa.OpAddi, 1, 1, -1)
+				b.Br(isa.OpBne, 1, 0, "loop")
+				b.Halt()
+				img := &asm.Image{Entry: 0x1000}
+				img.AddSegment(0x1000, b.Words())
+				return img
+			},
+			check: func(t *testing.T, m *Machine) {
+				if len(liveTraces(m)) == 0 {
+					t.Error("no trace formed under EventBatch=1")
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := tc.build()
+
+			cfg := tc.cfg
+			if cfg.MemSpan == 0 {
+				cfg.MemSpan = 64 << 20
+			}
+			m := New(cfg)
+			m.Load(img)
+			var sink *CountingSink
+			if cfg.EventBatch != 0 {
+				sink = &CountingSink{}
+			}
+			if sink != nil {
+				m.RunToCompletion(0, sink)
+			} else {
+				m.RunToCompletion(0, nil)
+			}
+
+			// Reference: a tiny TC flushes constantly, so chain memos
+			// and traces never survive long enough to influence
+			// anything. Architectural state must match exactly.
+			ref := New(Config{MemSpan: 64 << 20, TCMaxBlocks: 2})
+			ref.Load(tc.build())
+			ref.RunToCompletion(0, nil)
+			for r := 0; r < isa.NumRegs; r++ {
+				if m.Reg(r) != ref.Reg(r) {
+					t.Fatalf("r%d: traced %d vs reference %d", r, m.Reg(r), ref.Reg(r))
+				}
+			}
+			ms, rs := m.Stats(), ref.Stats()
+			if ms.Instructions != rs.Instructions ||
+				ms.MemReads != rs.MemReads || ms.MemWrites != rs.MemWrites ||
+				ms.Branches != rs.Branches || ms.TakenBr != rs.TakenBr ||
+				ms.PageFaults != rs.PageFaults {
+				t.Fatalf("retirement stats diverge:\ntraced    %+v\nreference %+v", ms, rs)
+			}
+			if sink != nil && sink.Total != ms.Instructions {
+				t.Fatalf("events %d != instructions %d", sink.Total, ms.Instructions)
+			}
+			if tc.check != nil {
+				tc.check(t, m)
+			}
+		})
+	}
+}
+
+// TestTraceMissTeardown forces a trace to keep missing its guard and
+// checks the interpreter abandons it (misses counter → killTrace) so a
+// fresher path profile can replace it, rather than guarding forever.
+func TestTraceMissTeardown(t *testing.T) {
+	// Phase 1 makes the "skip" path hot; phase 2 flips the branch so
+	// the trace's guard diverges every iteration.
+	iters := int64(4 * traceMissLimit)
+	b := asm.NewBuilder(0x1000)
+	b.Movi(1, 2*iters)
+	b.Movi(6, iters) // phase boundary
+	b.Label("loop")
+	b.Br(isa.OpBlt, 1, 6, "low")
+	b.I(isa.OpAddi, 2, 2, 1) // phase 1 body
+	b.Br(isa.OpBeq, 0, 0, "join")
+	b.Label("low")
+	b.I(isa.OpAddi, 3, 3, 1) // phase 2 body
+	b.Label("join")
+	b.I(isa.OpAddi, 1, 1, -1)
+	b.Br(isa.OpBne, 1, 0, "loop")
+	b.Halt()
+	img := &asm.Image{Entry: 0x1000}
+	img.AddSegment(0x1000, b.Words())
+	m := New(Config{MemSpan: 64 << 20})
+	m.Load(img)
+	m.RunToCompletion(0, nil)
+
+	// Phase 1 covers r1 = 2·iters … iters (iters+1 trips), phase 2
+	// covers r1 = iters-1 … 1 (iters-1 trips).
+	if m.Reg(2) != uint64(iters+1) || m.Reg(3) != uint64(iters-1) {
+		t.Fatalf("phase counts r2=%d r3=%d, want %d and %d", m.Reg(2), m.Reg(3), iters+1, iters-1)
+	}
+	// The phase-1 trace through the loop head must be gone (killed or
+	// replaced by one following the phase-2 path); a stale trace would
+	// still name the phase-1 body as the head's successor.
+	for _, tr := range liveTraces(m) {
+		for i, s := range tr.segs {
+			if s.dead {
+				t.Fatalf("live trace %d holds dead segment %d (pc=%#x)", i, i, s.pc)
+			}
+		}
+	}
+}
+
+// TestFormTraceRequiresChain checks formTrace's cheap-failure
+// contract: a block with no recorded successor must not allocate a
+// trace, and a self-loop forms a single-segment looping trace.
+func TestFormTraceRequiresChain(t *testing.T) {
+	m := New(Config{MemSpan: 64 << 20})
+	b := &block{pc: 0x1000}
+	if tr := m.formTrace(b); tr != nil {
+		t.Fatal("chainless block formed a trace")
+	}
+	dead := &block{pc: 0x2000, dead: true}
+	b.chainBlk, b.chainPC = dead, 0x2000
+	if tr := m.formTrace(b); tr != nil {
+		t.Fatal("dead successor formed a trace")
+	}
+	b.chainBlk, b.chainPC = b, 0x1000 // tight self-loop
+	tr := m.formTrace(b)
+	if tr == nil || !tr.loop || len(tr.segs) != 1 {
+		t.Fatalf("self-loop trace = %+v, want 1-segment loop", tr)
+	}
+	b.tr, b.heat = tr, 5
+	killTrace(tr)
+	if b.tr != nil || b.heat != 0 {
+		t.Fatal("killTrace must detach and re-profile the head")
+	}
+}
