@@ -1,7 +1,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke diffcheck golden-update bench bench-vm bench-smoke bench-guard ci
+.PHONY: all build vet test race fuzz-smoke diffcheck chaos golden-update bench bench-vm bench-smoke bench-guard ci
 
 all: build
 
@@ -44,6 +44,15 @@ fuzz-smoke:
 # full design).
 diffcheck:
 	$(GO) run ./cmd/diffcheck -seed 1 -n 200 -batch -faults -obs -sweep -stats -stats-runs 25
+
+# Chaos-schedule exploration: CHAOS_SCHEDULES seeded fault schedules
+# (coordinator SIGKILL/restart at arbitrary WAL offsets with torn
+# tails, worker kills, network/disk faults), each a full distributed
+# sweep whose merged journal must render byte-identical artifacts with
+# exactly-once accounting (see internal/chaos).
+CHAOS_SCHEDULES ?= 8
+chaos:
+	$(GO) run ./cmd/diffcheck -n 0 -mode lockstep -chaos -chaos-schedules $(CHAOS_SCHEDULES)
 
 golden-update:
 	$(GO) test ./internal/experiments -run TestGolden -update

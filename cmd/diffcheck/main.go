@@ -32,6 +32,14 @@
 // measurement panics, hangs, and transient errors) and its rendered
 // artifacts must be byte-identical to a fault-free run.
 //
+// The -chaos flag additionally runs the chaos-schedule exploration:
+// -chaos-schedules seeded fault schedules (worker kills at arbitrary
+// deliveries, coordinator SIGKILL/restart at arbitrary write-ahead-log
+// offsets with torn WAL tails, network and disk faults), each a full
+// distributed sweep whose merged journal must render artifacts
+// byte-identical to a sequential fault-free run with exactly-once
+// completion accounting and kill-bounded re-execution.
+//
 // The -obs flag additionally runs the observability-invariance checks:
 // every policy is replayed with a metrics registry and transition trace
 // attached and must produce bit-identical results, and the full
@@ -57,6 +65,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -74,6 +83,8 @@ func main() {
 		fault        = flag.Bool("faults", false, "also run the fault-equivalence check (seeded fault injection vs fault-free artifacts)")
 		sweep        = flag.Bool("sweep", false, "also run the sweep-equivalence check (distributed coordinator/worker sweep vs sequential artifacts)")
 		sweepWorkers = flag.String("sweep-workers", "", "comma-separated worker counts for -sweep (default 2,4)")
+		chaosf       = flag.Bool("chaos", false, "also run the chaos-schedule exploration (seeded coordinator/worker kill schedules vs sequential artifacts)")
+		chaosN       = flag.Int("chaos-schedules", 0, "fault schedules for -chaos (0 = default 8)")
 		obsf         = flag.Bool("obs", false, "also run the observability-invariance checks (metrics/trace attached vs plain, results and artifacts identical)")
 		statsf       = flag.Bool("stats", false, "also run the statistical-validity check (interval coverage, determinism, error targeting of the Stratified/RankedSet policies)")
 		statsRuns    = flag.Int("stats-runs", 0, "seeded runs per policy per benchmark for -stats (0 = default 100)")
@@ -251,6 +262,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("diffcheck: sweep equivalence ok (distributed sweep byte-identical to sequential run, exactly-once accounting)")
+	}
+
+	if *chaosf {
+		if *chaosN <= 0 {
+			*chaosN = 8
+		}
+		co := chaos.Options{Seed: *seed, Schedules: *chaosN}
+		if *verb {
+			co.Progress = os.Stderr
+			co.Verbose = true
+		} else {
+			co.Progress = os.Stdout
+		}
+		if err := chaos.ExploreWith(co); err != nil {
+			fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+			fmt.Fprintf(os.Stderr, "diffcheck: reproduce with: diffcheck -chaos -seed %d -chaos-schedules %d\n",
+				*seed, co.Schedules)
+			os.Exit(1)
+		}
+		fmt.Printf("diffcheck: chaos exploration ok (%d schedules from seed %d; coordinator kill/restart, WAL tears, worker kills — artifacts byte-identical, exactly-once)\n",
+			co.Schedules, *seed)
 	}
 
 	if *statsf {

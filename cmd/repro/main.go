@@ -30,6 +30,14 @@
 // Interrupting the coordinator journals the completed cells; rerunning
 // with the same -out leases out only the missing ones. -lease-ttl
 // tunes crash-detection latency.
+//
+// The coordinator is crash-safe beyond clean interrupts: every lease
+// grant, record append, and cell completion is written to a
+// write-ahead log (DIR/coord.wal) before it is acknowledged, so a
+// coordinator killed with SIGKILL mid-sweep and restarted against the
+// same -out resumes exactly-once — acknowledged completions are never
+// re-executed, and surviving workers reconnect with backoff, detect
+// the new coordinator epoch, and re-claim their in-flight cells.
 package main
 
 import (
@@ -315,7 +323,18 @@ func runSweepServe(ctx context.Context, addr string, opts experiments.Options,
 		return 1
 	}
 	cfg := sweep.Config{Scale: opts.Scale, Benchmarks: opts.Benchmarks, LeaseTTL: ttl}
-	coord := sweep.NewCoordinator(cfg, prior, opts.Obs)
+	// The write-ahead log beside the journal makes the coordinator
+	// crash-safe beyond clean interrupts: a SIGKILLed coordinator
+	// restarted with the same -out replays coord.wal, restores every
+	// acknowledged completion (even those not yet folded into the
+	// journal), and re-leases only the unfinished cells under a new
+	// epoch that in-flight workers detect and re-claim against.
+	coord, err := sweep.NewWALCoordinator(cfg, filepath.Join(filepath.Dir(opts.Journal), "coord.wal"), prior, opts.Obs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		return 1
+	}
+	defer coord.CloseWAL()
 
 	// The coordinator-side store backs the shared checkpoint tier; with
 	// -no-ckpt the endpoints answer 503 and workers run from scratch.
@@ -337,8 +356,8 @@ func runSweepServe(ctx context.Context, addr string, opts experiments.Options,
 	defer srv.Close()
 
 	st := coord.Stats()
-	fmt.Fprintf(os.Stderr, "repro: sweep coordinator on http://%s — %d cells (%d already journaled); start workers with -worker http://%s\n",
-		ln.Addr(), st.Cells, st.Replayed, ln.Addr())
+	fmt.Fprintf(os.Stderr, "repro: sweep coordinator on http://%s (epoch %d) — %d cells (%d journaled, %d restored from WAL); start workers with -worker http://%s\n",
+		ln.Addr(), st.Epoch, st.Cells, st.Replayed, st.Restored, ln.Addr())
 
 	writeJournal := func() bool {
 		if err := coord.WriteJournal(opts.Journal); err != nil {

@@ -146,6 +146,11 @@ func renderWith(opts experiments.Options) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// DiffSummary reports the first line where two rendered artifacts
+// diverge, for actionable failure messages. Exported for the chaos
+// harness, which checks the same byte-identity invariants.
+func DiffSummary(a, b []byte) string { return diffSummary(a, b) }
+
 // diffSummary reports the first line where two rendered artifacts
 // diverge, for actionable failure messages.
 func diffSummary(a, b []byte) string {

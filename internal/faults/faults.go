@@ -64,6 +64,19 @@ const (
 	// without completing (or even heartbeating), modelling SIGKILL, and
 	// the coordinator must re-issue the lease after expiry.
 	WorkerKill Kind = "worker-kill"
+	// CoordinatorKill kills the sweep coordinator itself, modelling
+	// SIGKILL of the -serve process: its in-memory lease table vanishes
+	// and the restarted incarnation must rebuild from the write-ahead
+	// log with a bumped epoch. The verdict fires when the WAL reaches a
+	// seed-drawn entry offset, so a schedule kills the coordinator "at
+	// arbitrary WAL offsets" deterministically.
+	CoordinatorKill Kind = "coord-kill"
+	// WALTear shears bytes off the tail of the coordinator WAL at a
+	// kill, modelling the ack-before-fsync window of a host crash: at
+	// most the final appended entry is damaged or lost, never an earlier
+	// one (entries are single write()s, so process SIGKILL alone cannot
+	// lose them).
+	WALTear Kind = "wal-tear"
 )
 
 // ErrInjected marks every error produced by an Injector, so callers can
@@ -103,6 +116,21 @@ type Plan struct {
 	// number of lease re-issues always completes the cell.
 	WorkerKill   float64
 	KillAttempts int
+
+	// CoordKills is how many times the sweep coordinator is killed and
+	// restarted over one run (0 = never). Each kill fires when the WAL
+	// entry counter reaches a seed-drawn target, so kills land at
+	// arbitrary — but reproducible — WAL offsets; the bound guarantees
+	// the sweep eventually runs a kill-free incarnation to completion.
+	CoordKills int
+	// CoordKillWindow spaces kill targets: each target is drawn 1 to
+	// CoordKillWindow entries past the previous kill (default 8). Small
+	// windows guarantee the target is reached even in tiny sweeps.
+	CoordKillWindow int
+	// WALTear is the probability that a coordinator kill also tears the
+	// tail of the WAL, damaging or dropping the final entry (the
+	// ack-before-fsync window of a host crash).
+	WALTear float64
 }
 
 // DefaultPlan is the schedule the fault-equivalence matrix runs: high
@@ -128,6 +156,13 @@ type Injector struct {
 	mu    sync.Mutex
 	seq   map[string]uint64
 	fired map[Kind]uint64
+
+	// Coordinator-kill schedule state: how many kills have fired and the
+	// WAL entry count the next one fires at (0 = not yet drawn). The
+	// targets are pure functions of (seed, kill index), so the schedule
+	// is reproducible even though the state is mutable.
+	coordKills  int
+	coordTarget uint64
 }
 
 // New creates an injector for one seed and plan.
@@ -352,6 +387,49 @@ func (in *Injector) KillWorker(cell string, delivery int) bool {
 	}
 	in.note(WorkerKill)
 	return true
+}
+
+// KillCoordinatorAt reports whether the coordinator should be killed
+// now, given that its WAL just reached entry number n (1-based, counted
+// per incarnation). Each of the plan's CoordKills kills fires the first
+// time n reaches a seed-drawn target 1..CoordKillWindow entries ahead;
+// after the bound is spent the verdict is always false, so the final
+// incarnation always runs to completion. Deterministic: the k-th kill's
+// offset depends only on (seed, k), and n is monotone within an
+// incarnation, so a schedule replays identically from its seed.
+func (in *Injector) KillCoordinatorAt(n uint64) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.plan.CoordKills <= 0 || in.coordKills >= in.plan.CoordKills {
+		return false
+	}
+	if in.coordTarget == 0 {
+		window := uint64(in.plan.CoordKillWindow)
+		if window == 0 {
+			window = 8
+		}
+		h := in.hash(CoordinatorKill, "target", uint64(in.coordKills))
+		in.coordTarget = n + 1 + h%window
+	}
+	if n < in.coordTarget {
+		return false
+	}
+	in.coordKills++
+	in.coordTarget = 0
+	in.fired[CoordinatorKill]++
+	return true
+}
+
+// WALTearBytes returns how many tail bytes to shear off the WAL at the
+// kill'th coordinator kill (1-based): 0 when the tear verdict does not
+// fire, else 1..64. Callers must clamp the tear to the final entry —
+// earlier entries were acked single write()s and survive any SIGKILL.
+func (in *Injector) WALTearBytes(kill int) int {
+	h, hit := in.roll(WALTear, fmt.Sprintf("kill-%d", kill), in.plan.WALTear)
+	if !hit {
+		return 0
+	}
+	return int(1 + h%64)
 }
 
 // flippingReader XORs one byte at a fixed stream offset.

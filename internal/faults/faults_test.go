@@ -186,3 +186,86 @@ func TestFiredCounts(t *testing.T) {
 		t.Fatalf("run fault %q fired = %d, want 1", kind, fired[kind])
 	}
 }
+
+// TestKillCoordinatorSchedule pins the coordinator-kill verdict: a plan
+// with CoordKills=k fires exactly k times as the WAL entry counter
+// climbs, at seed-deterministic offsets within the window, and never
+// fires again — so the final incarnation always completes.
+func TestKillCoordinatorSchedule(t *testing.T) {
+	t.Parallel()
+	plan := Plan{CoordKills: 3, CoordKillWindow: 8}
+
+	killEntries := func(seed uint64) []uint64 {
+		in := New(seed, plan)
+		var at []uint64
+		n := uint64(0)
+		for incarnation := 0; incarnation < plan.CoordKills+1; incarnation++ {
+			// Each incarnation restarts the entry counter at 1, exactly
+			// like the real WAL.
+			for n = 1; n <= 64; n++ {
+				if in.KillCoordinatorAt(n) {
+					at = append(at, n)
+					break
+				}
+			}
+		}
+		return at
+	}
+
+	at := killEntries(7)
+	if len(at) != plan.CoordKills {
+		t.Fatalf("fired %d kills, want %d (at %v)", len(at), plan.CoordKills, at)
+	}
+	for i, n := range at {
+		// Target is 1..window entries past the first observed counter
+		// value (1), so it always lands within 2..window+1.
+		if n < 2 || n > uint64(plan.CoordKillWindow)+1 {
+			t.Fatalf("kill %d fired at entry %d, outside window [2, %d]", i, n, plan.CoordKillWindow+1)
+		}
+	}
+	if got := killEntries(7); len(got) != len(at) || got[0] != at[0] || got[2] != at[2] {
+		t.Fatalf("kill schedule not seed-deterministic: %v vs %v", got, at)
+	}
+	if fired := New(7, Plan{}).KillCoordinatorAt(100); fired {
+		t.Fatal("CoordKills=0 plan killed the coordinator")
+	}
+
+	// The bound is spent: no further kills no matter how far the WAL grows.
+	in := New(7, plan)
+	fired := 0
+	for n := uint64(1); n <= 4096; n++ {
+		if in.KillCoordinatorAt(n) {
+			fired++
+		}
+	}
+	if fired != plan.CoordKills {
+		t.Fatalf("%d kills over one long incarnation, want %d", fired, plan.CoordKills)
+	}
+	if got := in.Fired()[CoordinatorKill]; got != uint64(plan.CoordKills) {
+		t.Fatalf("Fired[CoordinatorKill] = %d, want %d", got, plan.CoordKills)
+	}
+}
+
+// TestWALTearBytes pins the tear verdict: rate 0 never tears, rate 1
+// always tears 1..64 bytes, and the verdict is seed-deterministic per
+// kill index.
+func TestWALTearBytes(t *testing.T) {
+	t.Parallel()
+	if n := New(3, Plan{}).WALTearBytes(1); n != 0 {
+		t.Fatalf("zero-rate tear returned %d bytes", n)
+	}
+	always := New(3, Plan{WALTear: 1})
+	replay := New(3, Plan{WALTear: 1})
+	for k := 1; k <= 8; k++ {
+		n := always.WALTearBytes(k)
+		if n < 1 || n > 64 {
+			t.Fatalf("kill %d: tear %d bytes, want 1..64", k, n)
+		}
+		if m := replay.WALTearBytes(k); m != n {
+			t.Fatalf("kill %d: tear not deterministic (%d vs %d)", k, n, m)
+		}
+	}
+	if got := always.Fired()[WALTear]; got != 8 {
+		t.Fatalf("Fired[WALTear] = %d, want 8", got)
+	}
+}

@@ -2,12 +2,15 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
@@ -15,6 +18,27 @@ import (
 	"repro/internal/faults"
 	"repro/internal/vm"
 )
+
+// ErrCoordinatorDown classifies failures where the coordinator could
+// not serve the request at all: connection refused/reset, timeouts, and
+// 5xx responses. The request may or may not have been processed, but
+// nothing was acknowledged; the worker's state is not invalidated and
+// the right response is seeded backoff and retry (a restarted
+// coordinator then announces itself through a new epoch).
+var ErrCoordinatorDown = errors.New("sweep: coordinator unavailable")
+
+// ErrBadResponse classifies a malformed reply on a success status: an
+// empty 2xx body, a non-JSON body (an intercepting proxy's HTML error
+// page, say), or a reply truncated mid-JSON. Distinguished from
+// ErrCoordinatorDown because it usually means something *between* the
+// worker and a healthy coordinator is damaged — but it is equally
+// retryable, and the worker treats both as the reconnect-budget class.
+var ErrBadResponse = errors.New("sweep: malformed coordinator response")
+
+// maxResponseBytes bounds control-plane reply bodies (the largest,
+// /v1/status, is well under a megabyte; snapshots travel on their own
+// endpoints with their own framing).
+const maxResponseBytes = 16 << 20
 
 // Client is the worker side of the wire protocol. It also implements
 // ckpt.Remote, so a worker's checkpoint store plugs the coordinator in
@@ -28,6 +52,10 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	// epoch is the last coordinator incarnation observed (via /v1/config
+	// or a claim response); it is stamped on every lease verb so a
+	// restarted coordinator rejects messages meant for its predecessor.
+	epoch atomic.Uint64
 	// Faults, when non-nil, injects deterministic network faults into
 	// the checkpoint tier (NetGet/NetPut outage, NetCorrupt in-flight
 	// damage). Used by the robustness harness.
@@ -43,51 +71,105 @@ func NewClient(base string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
 
+// Epoch returns the last coordinator epoch this client observed (0
+// before the first config fetch or claim).
+func (cl *Client) Epoch() uint64 { return cl.epoch.Load() }
+
+// observeEpoch adopts a newly-seen coordinator epoch.
+func (cl *Client) observeEpoch(e uint64) {
+	if e != 0 {
+		cl.epoch.Store(e)
+	}
+}
+
+// decodeStrict reads a success-status body and decodes it as JSON,
+// classifying every failure mode — read error mid-body (a truncated
+// chunked reply), empty body, non-JSON bytes — as ErrBadResponse so
+// callers never see a raw json.Unmarshal error for wire damage.
+func decodeStrict(r io.Reader, out interface{}, what string) error {
+	data, err := io.ReadAll(io.LimitReader(r, maxResponseBytes))
+	if err != nil {
+		return fmt.Errorf("%w: %s: reading body: %v", ErrBadResponse, what, err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return fmt.Errorf("%w: %s: empty body", ErrBadResponse, what)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadResponse, what, err)
+	}
+	return nil
+}
+
 // postJSON posts a JSON body and decodes a JSON response into out (when
 // non-nil), mapping protocol statuses back to the coordinator's typed
-// errors.
-func (cl *Client) postJSON(path string, in, out interface{}) error {
+// errors and transport/5xx/malformed-body failures to the retryable
+// classes.
+func (cl *Client) postJSON(ctx context.Context, path string, in, out interface{}) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	resp, err := cl.hc.Post(cl.base+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.base+path, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("sweep: %s: %w", path, err)
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("%w: %s: %v", ErrCoordinatorDown, path, err)
 	}
 	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
+	switch {
+	case resp.StatusCode == http.StatusOK:
 		if out == nil {
-			return nil
+			// The coordinator acks lease verbs with a JSON body; decode it
+			// strictly even when the caller ignores it, so a torn reply or
+			// an intercepting proxy's HTML page is classified, not dropped.
+			var ack json.RawMessage
+			return decodeStrict(resp.Body, &ack, path)
 		}
-		return json.NewDecoder(resp.Body).Decode(out)
-	case http.StatusConflict:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("%w (%s)", ErrStaleLease, strings.TrimSpace(string(msg)))
-	case http.StatusUnprocessableEntity:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("%w (%s)", ErrIncompleteCell, strings.TrimSpace(string(msg)))
+		return decodeStrict(resp.Body, out, path)
+	case resp.StatusCode == http.StatusConflict:
+		return fmt.Errorf("%w (%s)", ErrStaleLease, errBody(resp))
+	case resp.StatusCode == http.StatusGone:
+		return fmt.Errorf("%w (%s)", ErrStaleEpoch, errBody(resp))
+	case resp.StatusCode == http.StatusUnprocessableEntity:
+		return fmt.Errorf("%w (%s)", ErrIncompleteCell, errBody(resp))
+	case resp.StatusCode >= 500:
+		return fmt.Errorf("%w: %s: status %d: %s", ErrCoordinatorDown, path, resp.StatusCode, errBody(resp))
 	default:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("sweep: %s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(msg)))
+		return fmt.Errorf("sweep: %s: status %d: %s", path, resp.StatusCode, errBody(resp))
 	}
 }
 
-// FetchConfig retrieves the sweep configuration workers must adopt.
+// errBody extracts a bounded error-message body for wrapping.
+func errBody(resp *http.Response) string {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	return strings.TrimSpace(string(msg))
+}
+
+// FetchConfig retrieves the sweep configuration workers must adopt,
+// recording the serving coordinator's epoch.
 func (cl *Client) FetchConfig() (Config, error) {
 	resp, err := cl.hc.Get(cl.base + "/v1/config")
 	if err != nil {
-		return Config{}, fmt.Errorf("sweep: config: %w", err)
+		return Config{}, fmt.Errorf("%w: config: %v", ErrCoordinatorDown, err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return Config{}, fmt.Errorf("%w: config: status %d", ErrCoordinatorDown, resp.StatusCode)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return Config{}, fmt.Errorf("sweep: config: status %d", resp.StatusCode)
 	}
 	var cfg Config
-	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
-		return Config{}, fmt.Errorf("sweep: config: %w", err)
+	if err := decodeStrict(resp.Body, &cfg, "config"); err != nil {
+		return Config{}, err
 	}
+	cl.observeEpoch(cfg.Epoch)
 	return cfg, nil
 }
 
@@ -96,25 +178,36 @@ func (cl *Client) FetchConfig() (Config, error) {
 // poll again.
 func (cl *Client) Claim(worker string) (*Lease, bool, error) {
 	var resp claimResponse
-	if err := cl.postJSON("/v1/claim", claimRequest{Worker: worker}, &resp); err != nil {
+	if err := cl.postJSON(context.Background(), "/v1/claim", claimRequest{Worker: worker}, &resp); err != nil {
 		return nil, false, err
 	}
+	if resp.Lease != nil && resp.Lease.ID == 0 {
+		return nil, false, fmt.Errorf("%w: claim: lease with id 0", ErrBadResponse)
+	}
+	cl.observeEpoch(resp.Epoch)
 	return resp.Lease, resp.Done, nil
 }
 
 // Heartbeat extends a lease.
 func (cl *Client) Heartbeat(id uint64) error {
-	return cl.postJSON("/v1/heartbeat", leaseRequest{Lease: id}, nil)
+	return cl.HeartbeatCtx(context.Background(), id)
+}
+
+// HeartbeatCtx extends a lease; the context cancels the in-flight
+// request, so a heartbeater can stop promptly even while the
+// coordinator is unreachable.
+func (cl *Client) HeartbeatCtx(ctx context.Context, id uint64) error {
+	return cl.postJSON(ctx, "/v1/heartbeat", leaseRequest{Lease: id, Epoch: cl.epoch.Load()}, nil)
 }
 
 // Append ships journal records under a live lease.
 func (cl *Client) Append(id uint64, recs []experiments.JournalRecord) error {
-	return cl.postJSON("/v1/append", leaseRequest{Lease: id, Records: recs}, nil)
+	return cl.postJSON(context.Background(), "/v1/append", leaseRequest{Lease: id, Records: recs, Epoch: cl.epoch.Load()}, nil)
 }
 
 // Complete marks a lease's cell done.
 func (cl *Client) Complete(id uint64, recs []experiments.JournalRecord) error {
-	return cl.postJSON("/v1/complete", leaseRequest{Lease: id, Records: recs}, nil)
+	return cl.postJSON(context.Background(), "/v1/complete", leaseRequest{Lease: id, Records: recs, Epoch: cl.epoch.Load()}, nil)
 }
 
 func (cl *Client) ckptURL(k ckpt.Key) string {

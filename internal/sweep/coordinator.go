@@ -23,6 +23,19 @@ var ErrStaleLease = errors.New("sweep: stale or expired lease")
 // worker cannot mark work done that it never shipped.
 var ErrIncompleteCell = errors.New("sweep: cell record set incomplete")
 
+// ErrStaleEpoch rejects a message stamped with a coordinator epoch that
+// is no longer current: the coordinator was restarted (rebuilding its
+// state from the WAL) since the sender fetched its config. Unlike
+// ErrStaleLease this is not about one lease — every lease the sender
+// holds is dead, and the right response is to re-fetch /v1/config,
+// adopt the new epoch, and re-claim.
+var ErrStaleEpoch = errors.New("sweep: stale coordinator epoch")
+
+// ErrWAL wraps write-ahead-log append failures: the mutation was NOT
+// acknowledged and the caller should retry. Surfaced to workers as a
+// 5xx, which the client maps to its retryable class.
+var ErrWAL = errors.New("sweep: coordinator wal append failed")
+
 // recordKey identifies one journal record for deduplication: executions
 // are deterministic, so two records with equal keys hold equal values
 // and either may be kept.
@@ -41,7 +54,8 @@ type cellState struct {
 	done       bool
 	leaseID    uint64 // 0 = not currently leased
 	expiry     time.Time
-	deliveries int // times leased so far
+	granted    time.Time // when the current lease was issued
+	deliveries int       // times leased so far
 }
 
 // Coordinator is the sweep's single point of truth: the lease state
@@ -59,21 +73,37 @@ type Coordinator struct {
 	records map[recordKey]experiments.JournalRecord
 	stats   CoordStats
 	ob      coordObs
+
+	// epoch numbers this coordinator incarnation (1 for an in-memory
+	// coordinator; WAL-backed ones increment it per restart). Immutable
+	// after construction.
+	epoch uint64
+	// wal, when non-nil, makes every lease grant, record append, and
+	// completion durable before it is acknowledged.
+	wal *wal
+	// durSum/durN accumulate lease-grant→completion durations for the
+	// /v1/status autoscaling hints.
+	durSum time.Duration
+	durN   int
 }
 
 // CoordStats counts coordinator activity; the equivalence harness
 // asserts exactly-once accounting and kill non-vacuity from it.
 type CoordStats struct {
 	Cells       int    // total cells in the matrix
-	Done        int    // cells completed (replayed or live)
+	Done        int    // cells completed (replayed, restored, or live)
 	Leased      int    // cells currently leased
 	Replayed    int    // cells pre-completed from a prior journal
+	Restored    int    // cells pre-completed from the WAL of a killed incarnation
+	Epoch       uint64 // this incarnation's epoch
 	Claims      uint64 // leases issued
 	Reissues    uint64 // leases expired and returned to pending
-	Completions uint64 // successful Complete calls (one per cell, ever)
+	Completions uint64 // successful Complete calls (one per cell per incarnation)
 	StaleDrops  uint64 // heartbeat/append/complete rejections for stale leases
+	EpochDrops  uint64 // messages rejected for carrying a dead incarnation's epoch
 	Records     uint64 // journal records accepted
 	DupRecords  uint64 // journal records dropped as duplicates
+	WALErrors   uint64 // mutations refused because the WAL append failed
 }
 
 type coordObs struct {
@@ -106,6 +136,33 @@ func newCoordObs(reg *obs.Registry) coordObs {
 // complete is marked done, so a resumed sweep leases out only the
 // missing cells. reg may be nil.
 func NewCoordinator(cfg Config, prior []experiments.JournalRecord, reg *obs.Registry) *Coordinator {
+	c, _ := newCoordinator(cfg, prior, reg, nil, walState{epoch: 1})
+	return c
+}
+
+// NewWALCoordinator builds a crash-safe coordinator whose lease grants,
+// record appends, and completions are logged to the write-ahead log at
+// walPath before they are acknowledged. If the WAL already holds state
+// from a killed incarnation it is replayed first: records are accepted,
+// cells whose record sets survived are pre-completed (CoordStats.
+// Restored), per-cell delivery counts and the lease-ID high-water mark
+// carry over, and the epoch is bumped — so leases issued by the dead
+// incarnation are rejected with ErrStaleEpoch/ErrStaleLease and the
+// restarted sweep re-executes strictly fewer cells. prior optionally
+// replays a canonical journal on top (the -out resume path from before
+// the WAL existed; WAL state wins ties harmlessly — records dedupe).
+func NewWALCoordinator(cfg Config, walPath string, prior []experiments.JournalRecord, reg *obs.Registry) (*Coordinator, error) {
+	cfg.setDefaults()
+	w, st, err := openWAL(walPath, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return newCoordinator(cfg, prior, reg, w, st)
+}
+
+// newCoordinator is the shared builder behind both constructors.
+func newCoordinator(cfg Config, prior []experiments.JournalRecord, reg *obs.Registry,
+	w *wal, st walState) (*Coordinator, error) {
 	cfg.setDefaults()
 	c := &Coordinator{
 		cfg:     cfg,
@@ -114,23 +171,107 @@ func NewCoordinator(cfg Config, prior []experiments.JournalRecord, reg *obs.Regi
 		leases:  make(map[uint64]*cellState),
 		records: make(map[recordKey]experiments.JournalRecord),
 		ob:      newCoordObs(reg),
+		epoch:   st.epoch,
+		wal:     w,
+		nextID:  st.nextID,
 	}
 	for _, cell := range c.cells {
-		c.states[cell] = &cellState{cell: cell}
+		c.states[cell] = &cellState{cell: cell, deliveries: st.deliveries[cell]}
 	}
 	c.stats.Cells = len(c.cells)
+	c.stats.Epoch = c.epoch
+
+	// WAL records first, then the prior journal: identical executions
+	// produce identical records, so order only decides which copy wins
+	// the dedup — the bytes are the same either way.
+	for _, rec := range st.records {
+		c.acceptLocked(rec)
+	}
+	restored := make(map[Cell]bool, len(st.completed))
+	for _, cell := range st.completed {
+		restored[cell] = true
+	}
 	for _, rec := range prior {
 		c.acceptLocked(rec)
 	}
 	for _, cell := range c.cells {
+		// A cell is pre-completed when its full record set survived —
+		// whether or not its completion entry did. (Completion implies a
+		// complete record set, so the WAL's complete entries are a
+		// subset of this check; they still distinguish Restored from
+		// Replayed in the stats.)
 		if c.completeSetLocked(cell) {
 			c.states[cell].done = true
 			c.stats.Done++
-			c.stats.Replayed++
+			if restored[cell] {
+				c.stats.Restored++
+			} else {
+				c.stats.Replayed++
+			}
 		}
 	}
 	c.gaugesLocked()
-	return c
+	return c, nil
+}
+
+// Epoch returns this coordinator incarnation's epoch: 1 for an
+// in-memory coordinator, incremented per restart for a WAL-backed one.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+// CheckEpoch validates a message's claimed epoch: 0 (a legacy client
+// that does not track epochs) always passes; anything else must match
+// this incarnation exactly or the message is rejected with
+// ErrStaleEpoch, telling the worker to re-fetch the config and
+// re-claim.
+func (c *Coordinator) CheckEpoch(epoch uint64) error {
+	if epoch == 0 || epoch == c.epoch {
+		return nil
+	}
+	c.mu.Lock()
+	c.stats.EpochDrops++
+	c.mu.Unlock()
+	return fmt.Errorf("%w: message epoch %d, coordinator epoch %d", ErrStaleEpoch, epoch, c.epoch)
+}
+
+// SetWALHook installs the chaos harness's per-append callback on the
+// coordinator WAL (no-op without one); n counts entries appended by
+// this incarnation. The hook runs after the entry is durable and must
+// not call back into the coordinator.
+func (c *Coordinator) SetWALHook(fn func(n uint64)) {
+	if c.wal != nil {
+		c.wal.setHook(fn)
+	}
+}
+
+// Kill simulates SIGKILL for the chaos harness: the WAL closes without
+// sync and every later mutation fails, exactly as if the process died.
+// The object must be abandoned; a successor may reopen the WAL path.
+func (c *Coordinator) Kill() {
+	if c.wal != nil {
+		c.wal.kill()
+	}
+}
+
+// CloseWAL flushes and closes the WAL at clean shutdown (no-op for an
+// in-memory coordinator).
+func (c *Coordinator) CloseWAL() error {
+	if c.wal == nil {
+		return nil
+	}
+	return c.wal.close()
+}
+
+// logWAL appends one entry when a WAL is attached; the zero error of an
+// in-memory coordinator keeps call sites uniform.
+func (c *Coordinator) logWAL(e walEntry) error {
+	if c.wal == nil {
+		return nil
+	}
+	if err := c.wal.append(e); err != nil {
+		c.stats.WALErrors++
+		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	return nil
 }
 
 // Config returns the sweep configuration workers must adopt.
@@ -152,6 +293,10 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			st.leaseID = 0
 			c.stats.Reissues++
 			c.ob.reissues.Inc()
+			// Best-effort: an expiry lost to a crash only means the
+			// successor replays a live grant from a dead epoch, and the
+			// epoch bump orphans those anyway.
+			c.logWAL(walEntry{Kind: "expire", Epoch: c.epoch, Lease: id})
 		}
 	}
 }
@@ -177,9 +322,21 @@ func (c *Coordinator) Claim(worker string, now time.Time) (lease *Lease, done bo
 		c.nextID++
 		st.leaseID = c.nextID
 		st.expiry = now.Add(c.cfg.LeaseTTL)
+		st.granted = now
 		delivery := st.deliveries
 		st.deliveries++
 		c.leases[st.leaseID] = st
+		if err := c.logWAL(walEntry{Kind: "grant", Epoch: c.epoch, Lease: st.leaseID, Cell: &st.cell, Delivery: delivery}); err != nil {
+			// Not durable → not granted. Revert so the grant is never
+			// acknowledged; the worker polls again (and, if the WAL died
+			// because the coordinator did, soon learns that instead).
+			delete(c.leases, st.leaseID)
+			st.leaseID = 0
+			st.deliveries--
+			c.nextID--
+			c.gaugesLocked()
+			return nil, false
+		}
 		c.stats.Claims++
 		c.ob.claims.Inc()
 		c.gaugesLocked()
@@ -228,6 +385,10 @@ func (c *Coordinator) Append(id uint64, recs []experiments.JournalRecord, now ti
 		return err
 	}
 	for _, rec := range recs {
+		rec := rec
+		if err := c.logWAL(walEntry{Kind: "record", Epoch: c.epoch, Lease: id, Record: &rec}); err != nil {
+			return err
+		}
 		c.acceptLocked(rec)
 	}
 	return nil
@@ -248,10 +409,19 @@ func (c *Coordinator) Complete(id uint64, recs []experiments.JournalRecord, now 
 		return err
 	}
 	for _, rec := range recs {
+		rec := rec
+		if err := c.logWAL(walEntry{Kind: "record", Epoch: c.epoch, Lease: id, Record: &rec}); err != nil {
+			return err
+		}
 		c.acceptLocked(rec)
 	}
 	if !c.completeSetLocked(st.cell) {
 		return fmt.Errorf("%w: %s", ErrIncompleteCell, st.cell)
+	}
+	// The completion entry carries the cell alongside the lease so replay
+	// can resolve it even when the grant sat in a torn or rotated prefix.
+	if err := c.logWAL(walEntry{Kind: "complete", Epoch: c.epoch, Lease: id, Cell: &st.cell}); err != nil {
+		return err
 	}
 	delete(c.leases, id)
 	st.leaseID = 0
@@ -259,6 +429,10 @@ func (c *Coordinator) Complete(id uint64, recs []experiments.JournalRecord, now 
 	c.stats.Done++
 	c.stats.Completions++
 	c.ob.completions.Inc()
+	if !st.granted.IsZero() {
+		c.durSum += now.Sub(st.granted)
+		c.durN++
+	}
 	c.gaugesLocked()
 	return nil
 }
@@ -315,6 +489,44 @@ func (c *Coordinator) Stats() CoordStats {
 	st := c.stats
 	st.Leased = len(c.leases)
 	return st
+}
+
+// Autoscale is the /v1/status hint block: a point-in-time queue/
+// throughput summary an external scaler can act on without
+// understanding lease mechanics. Field names are wire format — the
+// JSON-shape test in http_test.go pins them.
+type Autoscale struct {
+	Pending          int     `json:"pending"`           // cells neither done nor leased
+	Leased           int     `json:"leased"`            // cells currently leased out
+	Completed        int     `json:"completed"`         // cells done
+	MeanCellSeconds  float64 `json:"mean_cell_seconds"` // mean grant→completion duration; 0 until the first completion
+	SuggestedWorkers int     `json:"suggested_workers"` // 0 once the sweep is finished
+}
+
+// AutoscaleHints computes the /v1/status autoscaling block. The
+// suggestion is deliberately simple: enough workers to drain the
+// remaining cells in about four grant→completion rounds, clamped to
+// [1, remaining] — cells are coarse units, and provisioning past the
+// remaining count only burns leases.
+func (c *Coordinator) AutoscaleHints() Autoscale {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := Autoscale{
+		Pending:   c.stats.Cells - c.stats.Done - len(c.leases),
+		Leased:    len(c.leases),
+		Completed: c.stats.Done,
+	}
+	if c.durN > 0 {
+		a.MeanCellSeconds = c.durSum.Seconds() / float64(c.durN)
+	}
+	if remaining := c.stats.Cells - c.stats.Done; remaining > 0 {
+		suggested := (remaining + 3) / 4
+		if suggested < 1 {
+			suggested = 1
+		}
+		a.SuggestedWorkers = suggested
+	}
+	return a
 }
 
 // Merged folds the accepted records into canonical journal order: for

@@ -26,7 +26,10 @@ import (
 //	GET  /v1/ckpt/{key}/nearest  nearest-<= snapshot; X-Ckpt-Instr header
 //
 // Stale or superseded leases answer 409; completions with missing
-// records answer 422. Snapshot transfers carry their own FNV digest
+// records answer 422; lease verbs stamped with a dead incarnation's
+// epoch answer 410 (the worker re-fetches /v1/config and re-claims);
+// WAL append failures answer 503 (retryable — nothing was
+// acknowledged). Snapshot transfers carry their own FNV digest
 // footer, verified by vm.ReadSnapshot on whichever side decodes —
 // the server never stores an upload it could not decode, the client
 // never restores a download it could not verify.
@@ -38,11 +41,16 @@ type claimRequest struct {
 type claimResponse struct {
 	Done  bool   `json:"done"`
 	Lease *Lease `json:"lease,omitempty"`
+	// Epoch is the granting incarnation; clients echo it on lease verbs.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 type leaseRequest struct {
 	Lease   uint64                      `json:"lease"`
 	Records []experiments.JournalRecord `json:"records,omitempty"`
+	// Epoch is the coordinator incarnation the sender believes it is
+	// talking to (0 from legacy clients = unchecked).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Server adapts a Coordinator and a checkpoint store to HTTP. The
@@ -95,7 +103,9 @@ func readJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.coord.Config())
+	cfg := s.coord.Config()
+	cfg.Epoch = s.coord.Epoch()
+	writeJSON(w, cfg)
 }
 
 func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
@@ -104,7 +114,7 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lease, done := s.coord.Claim(req.Worker, time.Now())
-	writeJSON(w, claimResponse{Done: done, Lease: lease})
+	writeJSON(w, claimResponse{Done: done, Lease: lease, Epoch: s.coord.Epoch()})
 }
 
 // leaseStatus maps a lease-verb error to its HTTP status.
@@ -114,8 +124,14 @@ func leaseStatus(err error) int {
 		return http.StatusOK
 	case errors.Is(err, ErrStaleLease):
 		return http.StatusConflict
+	case errors.Is(err, ErrStaleEpoch):
+		return http.StatusGone
 	case errors.Is(err, ErrIncompleteCell):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrWAL):
+		// Nothing was acknowledged; the worker should retry against this
+		// (or, after a crash, the next) incarnation.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -124,6 +140,13 @@ func leaseStatus(err error) int {
 func (s *Server) leaseVerb(w http.ResponseWriter, r *http.Request, verb func(leaseRequest) error) {
 	var req leaseRequest
 	if !readJSON(w, r, &req) {
+		return
+	}
+	// Epoch gate before the lease state machine: a message from before a
+	// coordinator restart must not even be looked up — its lease ID may
+	// collide with one the new incarnation restored from the WAL.
+	if err := s.coord.CheckEpoch(req.Epoch); err != nil {
+		http.Error(w, err.Error(), leaseStatus(err))
 		return
 	}
 	if err := verb(req); err != nil {
@@ -154,8 +177,9 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	st := struct {
 		Coordinator CoordStats  `json:"coordinator"`
+		Autoscale   Autoscale   `json:"autoscale"`
 		Ckpt        *ckpt.Stats `json:"ckpt,omitempty"`
-	}{Coordinator: s.coord.Stats()}
+	}{Coordinator: s.coord.Stats(), Autoscale: s.coord.AutoscaleHints()}
 	if s.store != nil {
 		cs := s.store.Stats()
 		st.Ckpt = &cs

@@ -1,0 +1,139 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestStatusAutoscaleShape pins the /v1/status wire shape external
+// autoscalers consume: the autoscale block exists, carries exactly the
+// documented keys, and its numbers track the lease state machine.
+// Key-set equality (not subset) makes any rename or removal a test
+// failure — the shape is an API.
+func TestStatusAutoscaleShape(t *testing.T) {
+	coord := NewCoordinator(testConfig(), nil, nil)
+	ts := httptest.NewServer(NewServer(coord, nil, nil, nil).Handler())
+	defer ts.Close()
+
+	fetch := func() map[string]json.RawMessage {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var top map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&top); err != nil {
+			t.Fatal(err)
+		}
+		return top
+	}
+
+	top := fetch()
+	for _, key := range []string{"coordinator", "autoscale"} {
+		if _, ok := top[key]; !ok {
+			t.Fatalf("/v1/status missing %q: %v", key, top)
+		}
+	}
+
+	var auto map[string]json.RawMessage
+	if err := json.Unmarshal(top["autoscale"], &auto); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, 0, len(auto))
+	for k := range auto {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := []string{"completed", "leased", "mean_cell_seconds", "pending", "suggested_workers"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("autoscale keys = %v, want %v (the shape is an API)", got, want)
+	}
+
+	var a Autoscale
+	if err := json.Unmarshal(top["autoscale"], &a); err != nil {
+		t.Fatal(err)
+	}
+	cells := len(testConfig().Cells())
+	if a.Pending != cells || a.Leased != 0 || a.Completed != 0 {
+		t.Fatalf("fresh sweep autoscale = %+v, want %d pending", a, cells)
+	}
+	if a.SuggestedWorkers < 1 || a.SuggestedWorkers > cells {
+		t.Fatalf("suggested workers %d outside [1, %d]", a.SuggestedWorkers, cells)
+	}
+	if a.MeanCellSeconds != 0 {
+		t.Fatalf("mean duration %v before any completion", a.MeanCellSeconds)
+	}
+
+	// Drive one cell through grant → completion with a synthetic clock
+	// and watch the hints move.
+	t0 := time.Unix(1000, 0)
+	lease, _ := coord.Claim("w", t0)
+	if lease == nil {
+		t.Fatal("no lease")
+	}
+	if err := coord.Complete(lease.ID, recordsFor(lease.Cell), t0.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	var after Autoscale
+	if err := json.Unmarshal(fetch()["autoscale"], &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Completed != 1 || after.Pending != cells-1 {
+		t.Fatalf("after one completion: %+v", after)
+	}
+	if after.MeanCellSeconds != 2.0 {
+		t.Fatalf("mean cell seconds = %v, want 2", after.MeanCellSeconds)
+	}
+	if after.SuggestedWorkers > cells-1 {
+		t.Fatalf("suggested %d workers for %d remaining cells", after.SuggestedWorkers, cells-1)
+	}
+}
+
+// TestHTTPEpochGate pins the wire half of the epoch protocol: lease
+// verbs stamped with a wrong epoch answer 410 before the lease is even
+// looked up, legacy epoch-0 messages pass, and /v1/config + claim
+// responses carry the current epoch.
+func TestHTTPEpochGate(t *testing.T) {
+	coord := NewCoordinator(testConfig(), nil, nil)
+	ts := httptest.NewServer(NewServer(coord, nil, nil, nil).Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL, nil)
+
+	cfg, err := cl.FetchConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Epoch != 1 {
+		t.Fatalf("config epoch = %d, want 1", cfg.Epoch)
+	}
+
+	lease, done, err := cl.Claim("w")
+	if err != nil || done || lease == nil {
+		t.Fatalf("claim: %v %v %v", lease, done, err)
+	}
+
+	// Correct epoch: accepted.
+	if err := cl.Heartbeat(lease.ID); err != nil {
+		t.Fatalf("heartbeat at current epoch: %v", err)
+	}
+	// Stale epoch: rejected with the typed error, and counted.
+	cl.epoch.Store(99)
+	if err := cl.Heartbeat(lease.ID); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("heartbeat at epoch 99: err = %v, want ErrStaleEpoch", err)
+	}
+	if coord.Stats().EpochDrops == 0 {
+		t.Fatal("epoch drop not counted")
+	}
+	// Legacy epoch 0: passes the gate.
+	cl.epoch.Store(0)
+	if err := cl.Heartbeat(lease.ID); err != nil {
+		t.Fatalf("legacy heartbeat: %v", err)
+	}
+}

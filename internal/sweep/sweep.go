@@ -62,6 +62,13 @@ type Config struct {
 	// LeaseTTL is how long a claimed cell survives without a heartbeat
 	// before it is re-issued (default 30s; tests use milliseconds).
 	LeaseTTL time.Duration `json:"lease_ttl"`
+	// Epoch numbers the coordinator incarnation that served this config.
+	// It is response metadata, not sweep configuration: clients stamp it
+	// on lease verbs, and a coordinator restarted from its WAL bumps it
+	// so messages from before the restart are rejected (ErrStaleEpoch)
+	// instead of acting on dead lease IDs. Zero means "unknown" and is
+	// accepted everywhere, keeping old clients working.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 func (c *Config) setDefaults() {

@@ -48,6 +48,21 @@ type WorkerOptions struct {
 	Kill func(cell Cell, delivery int, stage string) bool
 	// Obs, when non-nil, receives worker/runner/store metrics.
 	Obs *obs.Registry
+
+	// BackoffBase/BackoffMax bound the exponential reconnect ladder the
+	// worker climbs while the coordinator is unreachable (defaults 50ms
+	// and 2s; tests shrink both). Each consecutive retryable failure
+	// doubles the delay from Base up to Max, with deterministic seeded
+	// jitter so a fleet of workers does not reconnect in lockstep.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// ReconnectBudget is how many consecutive retryable round-trip
+	// failures (ErrCoordinatorDown, ErrBadResponse) the worker tolerates
+	// before giving up on the sweep (default 8). Any success resets it.
+	ReconnectBudget int
+	// Seed keys the backoff jitter (combined with ID, so two workers
+	// sharing a seed still spread out).
+	Seed uint64
 }
 
 func (o *WorkerOptions) setDefaults() {
@@ -60,6 +75,48 @@ func (o *WorkerOptions) setDefaults() {
 	if o.Poll <= 0 {
 		o.Poll = 200 * time.Millisecond
 	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.ReconnectBudget <= 0 {
+		o.ReconnectBudget = 8
+	}
+}
+
+// backoffDelay is the deterministic jittered exponential delay for the
+// n-th consecutive retryable failure (0-based): base·2ⁿ capped at max,
+// then scaled into [½d, d) by an FNV/splitmix-style hash of (seed, id,
+// n) — pure, so a chaos schedule replays the exact same reconnect
+// timeline every run.
+func backoffDelay(seed uint64, id string, n int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 0; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := seed ^ 0x9e3779b97f4a7c15
+	for _, b := range []byte(id) {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	h ^= uint64(n+1) * 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	frac := float64(h%1024) / 1024
+	return d/2 + time.Duration(float64(d/2)*frac)
+}
+
+// retryableErr reports whether a coordinator round-trip failure is in
+// the reconnect class: the coordinator may be down or mid-restart, and
+// backing off then retrying (or re-claiming under a new epoch) is the
+// correct response.
+func retryableErr(err error) bool {
+	return errors.Is(err, ErrCoordinatorDown) || errors.Is(err, ErrBadResponse)
 }
 
 // WorkerStats counts one worker's activity over a sweep.
@@ -154,7 +211,12 @@ func (s *leaseSink) records(cell Cell) []experiments.JournalRecord {
 	return out
 }
 
-// Append implements experiments.JournalSink.
+// Append implements experiments.JournalSink. The live stream is
+// best-effort: a record refused because the lease or epoch went stale,
+// or because the coordinator is briefly unreachable, stays in the
+// buffer and ships with Complete (which retries under a fresh lease),
+// so a coordinator restart mid-cell does not fail the measurement that
+// produced the record. Only unexpected protocol errors propagate.
 func (s *leaseSink) Append(rec experiments.JournalRecord) error {
 	cell, ok := s.kc.cellOf(rec)
 	if !ok {
@@ -167,19 +229,29 @@ func (s *leaseSink) Append(rec experiments.JournalRecord) error {
 	if id == 0 || leaseCell != cell {
 		return nil
 	}
-	return s.cl.Append(id, []experiments.JournalRecord{rec})
+	err := s.cl.Append(id, []experiments.JournalRecord{rec})
+	if err == nil || retryableErr(err) ||
+		errors.Is(err, ErrStaleLease) || errors.Is(err, ErrStaleEpoch) {
+		return nil
+	}
+	return err
 }
 
 // heartbeater keeps one lease alive from a background goroutine until
 // stopped. Losing the race (the lease expired anyway) is harmless: the
-// completion is rejected as stale and the cell is re-executed.
+// completion is rejected as stale and the cell is re-executed. Stop
+// cancels the heartbeat context, which aborts any in-flight request —
+// so Stop returns promptly (and the goroutine exits, leak-free) even
+// when the coordinator vanished between the claim and the first beat
+// and the request would otherwise sit in connect/retry limbo.
 type heartbeater struct {
-	stop chan struct{}
-	done chan struct{}
+	cancel context.CancelFunc
+	done   chan struct{}
 }
 
 func startHeartbeat(cl *Client, id uint64, ttl time.Duration) *heartbeater {
-	h := &heartbeater{stop: make(chan struct{}), done: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &heartbeater{cancel: cancel, done: make(chan struct{})}
 	interval := ttl / 3
 	if interval < 5*time.Millisecond {
 		interval = 5 * time.Millisecond
@@ -190,12 +262,19 @@ func startHeartbeat(cl *Client, id uint64, ttl time.Duration) *heartbeater {
 		defer t.Stop()
 		for {
 			select {
-			case <-h.stop:
+			case <-ctx.Done():
 				return
 			case <-t.C:
-				if err := cl.Heartbeat(id); errors.Is(err, ErrStaleLease) {
+				err := cl.HeartbeatCtx(ctx, id)
+				switch {
+				case errors.Is(err, ErrStaleLease), errors.Is(err, ErrStaleEpoch):
 					return // lease already lost; stop renewing
+				case ctx.Err() != nil:
+					return
 				}
+				// Transport failures keep ticking: the coordinator may be
+				// mid-restart, and if the lease dies meanwhile the epoch
+				// gate turns the next beat into a clean stop.
 			}
 		}
 	}()
@@ -203,7 +282,7 @@ func startHeartbeat(cl *Client, id uint64, ttl time.Duration) *heartbeater {
 }
 
 func (h *heartbeater) Stop() {
-	close(h.stop)
+	h.cancel()
 	<-h.done
 }
 
@@ -267,7 +346,21 @@ func RunWorker(opts WorkerOptions) (WorkerStats, error) {
 		}
 	}
 
-	claimErrs := 0
+	// fails counts consecutive retryable round-trip failures (claims and
+	// completions both); any success resets it, so the reconnect budget
+	// measures one continuous outage, not lifetime flakiness.
+	fails := 0
+	downRetry := func(stage string, err error) (give bool, werr error) {
+		fails++
+		if fails > opts.ReconnectBudget {
+			return true, fmt.Errorf("sweep: worker %s: %s: reconnect budget (%d) exhausted: %w",
+				opts.ID, stage, opts.ReconnectBudget, err)
+		}
+		d := backoffDelay(opts.Seed, opts.ID, fails-1, opts.BackoffBase, opts.BackoffMax)
+		progress("%s failed (%v); retry %d/%d in %v", stage, err, fails, opts.ReconnectBudget, d)
+		sleepCtx(opts.Context, d)
+		return false, nil
+	}
 	for {
 		if err := opts.Context.Err(); err != nil {
 			st.Executions = runner.Executions()
@@ -275,15 +368,17 @@ func RunWorker(opts WorkerOptions) (WorkerStats, error) {
 		}
 		lease, done, err := opts.Client.Claim(opts.ID)
 		if err != nil {
-			claimErrs++
-			if claimErrs >= 5 {
+			if !retryableErr(err) {
 				st.Executions = runner.Executions()
 				return st, fmt.Errorf("sweep: worker %s: claim: %w", opts.ID, err)
 			}
-			sleepCtx(opts.Context, opts.Poll)
+			if give, werr := downRetry("claim", err); give {
+				st.Executions = runner.Executions()
+				return st, werr
+			}
 			continue
 		}
-		claimErrs = 0
+		fails = 0
 		if done {
 			st.Executions = runner.Executions()
 			return st, nil
@@ -346,6 +441,7 @@ func RunWorker(opts WorkerOptions) (WorkerStats, error) {
 		hb.Stop()
 		switch {
 		case err == nil:
+			fails = 0
 			st.Completions++
 		case errors.Is(err, ErrStaleLease):
 			// Our lease expired under us (e.g. a heartbeat lost a race
@@ -353,6 +449,23 @@ func RunWorker(opts WorkerOptions) (WorkerStats, error) {
 			// identical records win. Nothing to undo.
 			st.StaleDrops++
 			progress("stale completion for %s dropped", lease.Cell)
+		case errors.Is(err, ErrStaleEpoch):
+			// The coordinator restarted while we executed: every lease of
+			// the old incarnation is dead. Re-claim under the new epoch
+			// (the claim response carries it); the runner's memo makes the
+			// re-execution free and Complete re-ships the buffered
+			// records, so the restart costs one round-trip, not one cell.
+			st.StaleDrops++
+			progress("epoch changed under %s; re-claiming", lease.Cell)
+		case retryableErr(err):
+			// Coordinator down at completion time. The records are safe in
+			// the sink buffer; back off, then loop into a fresh claim —
+			// against the same incarnation our lease may even still be
+			// live, but re-claiming is correct either way.
+			if give, werr := downRetry("complete "+lease.Cell.String(), err); give {
+				st.Executions = runner.Executions()
+				return st, werr
+			}
 		default:
 			st.Executions = runner.Executions()
 			return st, fmt.Errorf("sweep: worker %s: complete %s: %w", opts.ID, lease.Cell, err)
