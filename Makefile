@@ -1,7 +1,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke diffcheck chaos golden-update bench bench-vm bench-smoke bench-guard ci
+.PHONY: all build vet test race fuzz-smoke diffcheck chaos smp golden-update bench bench-vm bench-smp bench-smoke bench-guard ci
 
 all: build
 
@@ -54,6 +54,18 @@ CHAOS_SCHEDULES ?= 8
 chaos:
 	$(GO) run ./cmd/diffcheck -n 0 -mode lockstep -chaos -chaos-schedules $(CHAOS_SCHEDULES)
 
+# Parallel-SMP equivalence: the goroutine-per-guest barrier schedule
+# must be byte-identical to the sequential round-robin reference across
+# guest counts, rendezvous quanta (including quantum 1), and GOMAXPROCS
+# settings, on the fast, timed, and DynamicSample paths. The race leg
+# re-runs the smp/timing/cache suites and the harness under the race
+# detector to prove the rendezvous and shared-L2 replay pipeline are
+# data-race free.
+smp:
+	$(GO) test -race -count=1 ./internal/smp ./internal/timing ./internal/cache
+	$(GO) test -race -count=1 -timeout 20m ./internal/check -run TestSMPEquivalence
+	$(GO) run ./cmd/diffcheck -n 0 -mode lockstep -smp
+
 golden-update:
 	$(GO) test ./internal/experiments -run TestGolden -update
 
@@ -68,6 +80,13 @@ bench:
 # (writes BENCH_pr3.json at the repo root).
 bench-vm:
 	$(GO) run ./cmd/vmbench -o BENCH_pr3.json
+
+# Parallel-SMP wall-clock speedup report: sequential vs parallel
+# schedule for a 4-guest system in fast mode (writes BENCH_pr10.json at
+# the repo root). The -min-speedup guard arms itself only on hosts with
+# at least as many CPUs as guests.
+bench-smp:
+	$(GO) run ./cmd/smpbench -guests 4 -min-speedup 1.5 -o BENCH_pr10.json
 
 # Bounded benchmark sanity pass for CI: tiny scale, one iteration, and
 # the ckptbench/vmbench reports to stdout instead of files.

@@ -40,6 +40,15 @@
 // byte-identical to a sequential fault-free run with exactly-once
 // completion accounting and kill-bounded re-execution.
 //
+// The -smp flag additionally runs the SMP scheduler-equivalence check:
+// for every guest count, rendezvous quantum (including quantum 1), and
+// GOMAXPROCS setting in the matrix, the parallel goroutine-per-guest
+// barrier schedule must produce byte-identical statistics, core
+// snapshots (including shared-L2 replacement state), interval IPCs,
+// Dynamic Sampling estimates, and rendered reports to the sequential
+// round-robin reference schedule. -smp-procs narrows the GOMAXPROCS
+// matrix (comma-separated) so CI can shard it.
+//
 // The -obs flag additionally runs the observability-invariance checks:
 // every policy is replayed with a metrics registry and transition trace
 // attached and must produce bit-identical results, and the full
@@ -85,6 +94,8 @@ func main() {
 		sweepWorkers = flag.String("sweep-workers", "", "comma-separated worker counts for -sweep (default 2,4)")
 		chaosf       = flag.Bool("chaos", false, "also run the chaos-schedule exploration (seeded coordinator/worker kill schedules vs sequential artifacts)")
 		chaosN       = flag.Int("chaos-schedules", 0, "fault schedules for -chaos (0 = default 8)")
+		smpf         = flag.Bool("smp", false, "also run the SMP scheduler-equivalence check (parallel barrier schedule vs sequential round-robin, byte-identical)")
+		smpProcs     = flag.String("smp-procs", "", "comma-separated GOMAXPROCS values for -smp (default 1,2,8)")
 		obsf         = flag.Bool("obs", false, "also run the observability-invariance checks (metrics/trace attached vs plain, results and artifacts identical)")
 		statsf       = flag.Bool("stats", false, "also run the statistical-validity check (interval coverage, determinism, error targeting of the Stratified/RankedSet policies)")
 		statsRuns    = flag.Int("stats-runs", 0, "seeded runs per policy per benchmark for -stats (0 = default 100)")
@@ -283,6 +294,28 @@ func main() {
 		}
 		fmt.Printf("diffcheck: chaos exploration ok (%d schedules from seed %d; coordinator kill/restart, WAL tears, worker kills — artifacts byte-identical, exactly-once)\n",
 			co.Schedules, *seed)
+	}
+
+	if *smpf {
+		var so check.SMPOptions
+		if *smpProcs != "" {
+			for _, s := range strings.Split(*smpProcs, ",") {
+				var p int
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &p); err != nil || p < 1 {
+					fmt.Fprintf(os.Stderr, "diffcheck: bad -smp-procs entry %q\n", s)
+					os.Exit(2)
+				}
+				so.Procs = append(so.Procs, p)
+			}
+		}
+		if *verb {
+			so.Progress = os.Stderr
+		}
+		if err := check.SMPEquivalence(so); err != nil {
+			fmt.Fprintf(os.Stderr, "diffcheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("diffcheck: smp equivalence ok (parallel barrier schedule byte-identical to sequential round-robin across quanta and GOMAXPROCS)")
 	}
 
 	if *statsf {

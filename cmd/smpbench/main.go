@@ -1,0 +1,196 @@
+// Command smpbench measures the wall-clock speedup of the parallel SMP
+// schedule (one host goroutine per guest per quantum, deterministic
+// barrier rendezvous) over the sequential round-robin reference, and
+// emits the BENCH_*.json schema directly so bench files are never
+// hand-assembled.
+//
+// Both schedules run the same freshly built guest images to completion;
+// throughput is reported in MIPS (million guest instructions per host
+// second) summed over all guests. The parallel leg is timed first so a
+// warmed page cache or branch predictor cannot flatter it.
+//
+// With -min-speedup S the tool becomes a CI guard: it fails (exit 1)
+// if the parallel schedule is slower than S times sequential. Like the
+// sweep smoke test, the guard only arms on hosts with at least as many
+// CPUs as guests — on a starved runner the parallel schedule degrades
+// to sequential plus barrier overhead, which is exactly the case the
+// equivalence harness (diffcheck -smp) covers for correctness — and
+// reports itself skipped otherwise.
+//
+// Usage:
+//
+//	smpbench [-guests 4] [-scale 20000] [-mode fast|timed] [-quantum Q]
+//	         [-runs 3] [-o BENCH.json] [-json] [-min-speedup 1.5]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/smp"
+	"repro/internal/workload"
+)
+
+// pool is the guest workload mix, cycled to fill a system.
+var pool = []string{"gzip", "mcf", "swim", "perlbmk", "twolf", "art", "bzip2", "equake"}
+
+type leg struct {
+	Seconds float64 `json:"seconds"`
+	MIPS    float64 `json:"minstr_s"`
+}
+
+type report struct {
+	Date       string  `json:"date"`
+	GoMaxProcs int     `json:"go_maxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Guests     int     `json:"guests"`
+	Scale      int     `json:"scale"`
+	Mode       string  `json:"mode"`
+	Quantum    uint64  `json:"quantum"`
+	Runs       int     `json:"runs_best_of"`
+	Sequential leg     `json:"sequential"`
+	Parallel   leg     `json:"parallel"`
+	Speedup    float64 `json:"speedup"`
+	// GuardArmed records whether -min-speedup was enforced; false on
+	// hosts with fewer CPUs than guests, where the bound is meaningless.
+	GuardArmed bool    `json:"guard_armed"`
+	MinSpeedup float64 `json:"min_speedup"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smpbench:", err)
+	os.Exit(1)
+}
+
+// build assembles a fresh system of n guests from the workload pool.
+func build(n, scale int, sequential bool, quantum uint64) (*smp.System, uint64) {
+	sys := smp.New(smp.Config{Sequential: sequential, Quantum: quantum})
+	var total uint64
+	for i := 0; i < n; i++ {
+		name := pool[i%len(pool)]
+		spec, err := workload.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		img, _ := workload.BuildScaled(spec, scale)
+		budget := spec.ScaledInstr(scale)
+		sys.AddGuest(fmt.Sprintf("%s#%d", name, i), img, budget)
+		total += budget
+	}
+	return sys, total
+}
+
+// measure runs one fresh system to completion and returns the elapsed
+// wall-clock time plus total guest instructions executed.
+func measure(n, scale int, sequential bool, quantum uint64, timed bool) (time.Duration, uint64) {
+	sys, _ := build(n, scale, sequential, quantum)
+	start := time.Now()
+	for !sys.Done() {
+		if timed {
+			sys.RunTimed(1 << 20)
+		} else {
+			sys.RunFast(1 << 20)
+		}
+	}
+	elapsed := time.Since(start)
+	var executed uint64
+	for _, g := range sys.Guests() {
+		executed += g.Executed()
+	}
+	return elapsed, executed
+}
+
+func bestOf(runs int, f func() (time.Duration, uint64)) leg {
+	best := leg{Seconds: -1}
+	for i := 0; i < runs; i++ {
+		d, executed := f()
+		if best.Seconds < 0 || d.Seconds() < best.Seconds {
+			best = leg{
+				Seconds: d.Seconds(),
+				MIPS:    float64(executed) / d.Seconds() / 1e6,
+			}
+		}
+	}
+	return best
+}
+
+func main() {
+	guests := flag.Int("guests", 4, "number of guests in the system")
+	scale := flag.Int("scale", 20_000, "workload scale divisor")
+	mode := flag.String("mode", "fast", "execution mode: fast|timed")
+	quantum := flag.Uint64("quantum", 0, "rendezvous quantum in instructions (0 = default)")
+	runs := flag.Int("runs", 3, "measurements per schedule (best is reported)")
+	out := flag.String("o", "BENCH.json", "output JSON path (\"-\" = stdout)")
+	asJSON := flag.Bool("json", false, "also print the report JSON to stdout")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail if parallel speedup falls below this (0 = off; only armed with NumCPU >= guests)")
+	flag.Parse()
+
+	timed := false
+	switch *mode {
+	case "fast":
+	case "timed":
+		timed = true
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (want fast|timed)", *mode))
+	}
+
+	rep := report{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Guests:     *guests,
+		Scale:      *scale,
+		Mode:       *mode,
+		Quantum:    *quantum,
+		Runs:       *runs,
+		MinSpeedup: *minSpeedup,
+	}
+
+	// Parallel first so warm caches cannot flatter it.
+	rep.Parallel = bestOf(*runs, func() (time.Duration, uint64) {
+		return measure(*guests, *scale, false, *quantum, timed)
+	})
+	rep.Sequential = bestOf(*runs, func() (time.Duration, uint64) {
+		return measure(*guests, *scale, true, *quantum, timed)
+	})
+	rep.Speedup = rep.Sequential.Seconds / rep.Parallel.Seconds
+	rep.GuardArmed = *minSpeedup > 0 &&
+		rep.GoMaxProcs >= *guests && rep.NumCPU >= *guests
+
+	fmt.Printf("smpbench: %d guests, %s mode, scale %d, GOMAXPROCS %d\n",
+		rep.Guests, rep.Mode, rep.Scale, rep.GoMaxProcs)
+	fmt.Printf("  sequential: %8.3fs  %8.2f Minstr/s\n", rep.Sequential.Seconds, rep.Sequential.MIPS)
+	fmt.Printf("  parallel:   %8.3fs  %8.2f Minstr/s\n", rep.Parallel.Seconds, rep.Parallel.MIPS)
+	fmt.Printf("  speedup:    %.2fx\n", rep.Speedup)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *out == "-" {
+		os.Stdout.Write(raw)
+	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	if *asJSON && *out != "-" {
+		os.Stdout.Write(raw)
+	}
+
+	if *minSpeedup > 0 {
+		if !rep.GuardArmed {
+			fmt.Printf("smpbench: speedup guard skipped (need %d CPUs, have GOMAXPROCS %d / NumCPU %d)\n",
+				*guests, rep.GoMaxProcs, rep.NumCPU)
+			return
+		}
+		if rep.Speedup < *minSpeedup {
+			fmt.Fprintf(os.Stderr, "smpbench: speedup %.2fx below the %.2fx bound\n", rep.Speedup, *minSpeedup)
+			os.Exit(1)
+		}
+		fmt.Printf("smpbench: speedup guard ok (%.2fx >= %.2fx)\n", rep.Speedup, *minSpeedup)
+	}
+}

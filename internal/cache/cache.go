@@ -119,6 +119,34 @@ func (c *Cache) Flush() {
 	}
 }
 
+// Digest returns an FNV-1a hash over the cache's complete replacement
+// state — every tag in every set, in LRU order — plus the hit/miss
+// counters. Two caches with equal digests saw access streams that left
+// them observationally indistinguishable: same residency, same
+// eviction order, same statistics. The equivalence harnesses use it to
+// pin a shared cache's state byte-for-byte across schedules without
+// exporting the tag array.
+func (c *Cache) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, t := range c.tags {
+		mix(t)
+	}
+	mix(c.stats.Hits)
+	mix(c.stats.Misses)
+	return h
+}
+
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return int(c.setMask) + 1 }
 
@@ -180,3 +208,12 @@ func (t *TLB) Contains(addr uint64) bool {
 
 // Flush invalidates all entries.
 func (t *TLB) Flush() { t.inner.Flush() }
+
+// Digest returns an FNV-1a hash over the TLB's full entry and
+// replacement state plus its hit/miss counters (see Cache.Digest).
+func (t *TLB) Digest() uint64 {
+	h := t.inner.Digest()
+	// Fold in the TLB-level counters: the inner cache's counters track
+	// the same accesses, but the TLB's own stats are the exported view.
+	return h ^ (t.stats.Hits*0x9e3779b97f4a7c15 + t.stats.Misses)
+}

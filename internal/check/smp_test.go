@@ -1,0 +1,38 @@
+package check
+
+import (
+	"flag"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// -smp-procs narrows the GOMAXPROCS matrix (comma-separated), so CI
+// can shard the SMP equivalence harness per processor count.
+var smpProcs = flag.String("smp-procs", "", "comma-separated GOMAXPROCS values for TestSMPEquivalence (default 1,2,8)")
+
+// TestSMPEquivalence is the parallel-SMP pin: across guest counts,
+// rendezvous quanta (including quantum 1 and a quantum larger than any
+// budget leg via the default 10000 on short budgets), and GOMAXPROCS
+// settings, the goroutine-per-guest barrier schedule must be
+// byte-identical to the sequential round-robin reference on the fast,
+// timed, and DynamicSample paths. Run under -race it also proves the
+// rendezvous and the shared-L2 replay pipeline are data-race free.
+func TestSMPEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smp-equivalence matrix is slow; skipped in -short")
+	}
+	var o SMPOptions
+	if *smpProcs != "" {
+		for _, s := range strings.Split(*smpProcs, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || p < 1 {
+				t.Fatalf("bad -smp-procs entry %q", s)
+			}
+			o.Procs = append(o.Procs, p)
+		}
+	}
+	if err := SMPEquivalence(o); err != nil {
+		t.Fatal(err)
+	}
+}

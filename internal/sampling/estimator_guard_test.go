@@ -1,0 +1,56 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEstimatorRejectsNonFinite is the regression test for the NaN
+// poisoning path: `ipc <= 0` is false for NaN, so an unguarded
+// Sample(NaN, n) silently corrupted the cycle accumulator and IPC()
+// returned NaN forever after.
+func TestEstimatorRejectsNonFinite(t *testing.T) {
+	t.Parallel()
+	var e Estimator
+	if e.Sample(math.NaN(), 100) {
+		t.Fatal("Sample(NaN) reported recorded")
+	}
+	if e.Sample(math.Inf(1), 100) {
+		t.Fatal("Sample(+Inf) reported recorded")
+	}
+	if e.Sample(0, 100) || e.Sample(-1, 100) || e.Sample(2, 0) {
+		t.Fatal("non-positive ipc or zero-instruction sample reported recorded")
+	}
+	if got := e.IPC(); got != 0 {
+		t.Fatalf("IPC after rejected samples = %v, want 0", got)
+	}
+	e.Functional(1000) // pending-only weight: still no cycles
+	if got := e.IPC(); math.IsNaN(got) || got != 0 {
+		t.Fatalf("IPC with pending-only weight = %v, want 0", got)
+	}
+	if !e.Sample(2, 100) {
+		t.Fatal("valid sample not recorded")
+	}
+	if got := e.IPC(); math.IsNaN(got) || got <= 0 {
+		t.Fatalf("IPC after valid sample = %v, want finite positive", got)
+	}
+}
+
+// TestEstimatorSampleReportsRecorded pins the returned bool against
+// the accumulator state so sample counters stay truthful.
+func TestEstimatorSampleReportsRecorded(t *testing.T) {
+	t.Parallel()
+	var e Estimator
+	recorded := 0
+	for _, s := range []struct {
+		ipc   float64
+		instr uint64
+	}{{1.5, 100}, {0, 50}, {2.0, 0}, {0.5, 200}, {math.NaN(), 10}} {
+		if e.Sample(s.ipc, s.instr) {
+			recorded++
+		}
+	}
+	if recorded != 2 {
+		t.Fatalf("recorded %d samples, want 2", recorded)
+	}
+}

@@ -11,6 +11,7 @@ package sampling
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/hostcost"
@@ -127,9 +128,16 @@ type Estimator struct {
 }
 
 // Sample records a timing measurement of ipc over instr instructions.
-func (e *Estimator) Sample(ipc float64, instr uint64) {
-	if instr == 0 || ipc <= 0 {
-		return
+// It reports whether the measurement was recorded: zero-instruction
+// intervals and non-positive or non-finite IPCs are rejected, so a
+// caller counting samples can count only intervals that actually
+// contributed. (The non-finite guard matters: `ipc <= 0` is false for
+// NaN, so an unguarded NaN — e.g. 0/0 from a core that retired nothing
+// — would silently poison the cycle accumulator and surface as a NaN
+// estimate, which the JSON journal rejects.)
+func (e *Estimator) Sample(ipc float64, instr uint64) bool {
+	if instr == 0 || !(ipc > 0) || math.IsInf(ipc, 1) {
+		return false
 	}
 	if !e.hasLast && e.pending > 0 {
 		e.instrs += e.pending
@@ -140,6 +148,7 @@ func (e *Estimator) Sample(ipc float64, instr uint64) {
 	e.hasLast = true
 	e.instrs += float64(instr)
 	e.cycles += float64(instr) / ipc
+	return true
 }
 
 // Functional records instr instructions executed without timing; their
@@ -156,9 +165,12 @@ func (e *Estimator) Functional(instr uint64) {
 	}
 }
 
-// IPC returns the cumulative estimate.
+// IPC returns the cumulative estimate. An estimator that never
+// recorded a sample — a guest that halted before its first detailed
+// interval, with only functional weight pending — reports 0, never
+// NaN: callers journal this value and non-finite JSON is banned.
 func (e *Estimator) IPC() float64 {
-	if e.cycles == 0 {
+	if e.cycles == 0 || math.IsNaN(e.cycles) {
 		return 0
 	}
 	return e.instrs / e.cycles

@@ -125,6 +125,55 @@ func IPC(from, to Marker) float64 {
 // Mispredicts returns the cumulative full-penalty redirect count.
 func (c *Core) Mispredicts() uint64 { return c.mispredicts }
 
+// Snapshot is the timing-visible state of a core at one instant: the
+// simulated clock, every retirement counter, and the statistics and
+// replacement-state digests of each cache and TLB level. It is a
+// comparable value, so two cores that consumed observationally
+// identical event streams — against identical shared-L2 schedules —
+// have equal Snapshots. The SMP equivalence harness compares parallel
+// and sequential schedules through this surface; any divergence in
+// cycle accounting, cache contents, or replacement order shows up as a
+// field difference.
+type Snapshot struct {
+	Cycles      uint64
+	Instrs      uint64
+	Loads       uint64
+	Stores      uint64
+	Mispredicts uint64
+	Flushes     uint64
+	ByClass     [isa.NumClasses]uint64
+
+	L1I, L1D, L2      cache.Stats
+	ITLB, DTLB, L2TLB cache.Stats
+
+	// Digests cover tag state and LRU order, not just counters. L2 is
+	// the shared cache's digest when the core was built with one, so a
+	// multi-core snapshot set pins the interleaved shared-L2 schedule.
+	L1IDigest, L1DDigest, L2Digest uint64
+}
+
+// Snapshot captures the core's timing-visible state.
+func (c *Core) Snapshot() Snapshot {
+	return Snapshot{
+		Cycles:      c.retireCycle,
+		Instrs:      c.instrs,
+		Loads:       c.loads,
+		Stores:      c.stores,
+		Mispredicts: c.mispredicts,
+		Flushes:     c.flushes,
+		ByClass:     c.byClass,
+		L1I:         c.l1i.Stats(),
+		L1D:         c.l1d.Stats(),
+		L2:          c.l2.Stats(),
+		ITLB:        c.itlb.Stats(),
+		DTLB:        c.dtlb.Stats(),
+		L2TLB:       c.l2tlb.Stats(),
+		L1IDigest:   c.l1i.Digest(),
+		L1DDigest:   c.l1d.Digest(),
+		L2Digest:    c.l2.Digest(),
+	}
+}
+
 // ClassCounts returns the cumulative retired-instruction counts by
 // instruction class (the power model's activity factors).
 func (c *Core) ClassCounts() [isa.NumClasses]uint64 { return c.byClass }
